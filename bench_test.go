@@ -1,0 +1,280 @@
+package openspace
+
+// One benchmark per paper artifact and extension experiment (DESIGN.md's
+// per-experiment index). Each benchmark regenerates its figure/table with a
+// reduced-but-representative configuration so `go test -bench=.` reproduces
+// every result's shape; cmd/openspace-bench runs the full-size sweeps.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/experiments"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// BenchmarkFig2aConstellation regenerates Figure 2(a): the reference
+// constellation with its coverage and ISL geometry.
+func BenchmarkFig2aConstellation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2a(4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.CoverageExact < 0.97 {
+			b.Fatalf("coverage regressed: %v", r.CoverageExact)
+		}
+	}
+}
+
+// BenchmarkFig2bLatency regenerates Figure 2(b): propagation latency vs
+// constellation size (steep drop, ~tens of ms floor).
+func BenchmarkFig2bLatency(b *testing.B) {
+	cfg := experiments.DefaultFig2b()
+	cfg.MaxSats, cfg.Step, cfg.Trials = 60, 10, 6
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Latency.Points) == 0 {
+			b.Fatal("no latency points")
+		}
+	}
+}
+
+// BenchmarkFig2cCoverage regenerates Figure 2(c): coverage vs constellation
+// size under the worst-case overlap rule.
+func BenchmarkFig2cCoverage(b *testing.B) {
+	cfg := experiments.DefaultFig2c()
+	cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 10, 6, 2000
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.WorstCase.Points) == 0 {
+			b.Fatal("no coverage points")
+		}
+	}
+}
+
+// BenchmarkFederationGain regenerates E4: solo vs federated coverage.
+func BenchmarkFederationGain(b *testing.B) {
+	cfg := experiments.DefaultFederation()
+	cfg.MaxPerFleet, cfg.Step, cfg.GridSize = 12, 4, 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Federation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHandover regenerates E5: predictive vs re-auth handover.
+func BenchmarkHandover(b *testing.B) {
+	cfg := experiments.DefaultHandover()
+	cfg.HorizonS = 1800
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.HandoverExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SpeedupFactor() < 10 {
+			b.Fatalf("handover speedup regressed: %v", r.SpeedupFactor())
+		}
+	}
+}
+
+// BenchmarkMAC regenerates E6: CSMA/CA vs TDMA.
+func BenchmarkMAC(b *testing.B) {
+	cfg := experiments.DefaultMAC()
+	cfg.MaxStations = 16
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MACExperiment(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLedger regenerates E7: ledgers, settlement, peering.
+func BenchmarkLedger(b *testing.B) {
+	cfg := experiments.DefaultEcon()
+	cfg.Transfers = 40
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EconExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Discrepancies != 0 {
+			b.Fatalf("ledger discrepancies: %d", r.Discrepancies)
+		}
+	}
+}
+
+// BenchmarkLinkBudget regenerates E8: the RF/laser trade table.
+func BenchmarkLinkBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LinksExperiment(experiments.DefaultLinkDistances())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.CSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingAblation regenerates the proactive-vs-on-demand routing
+// comparison called out in DESIGN.md's ablation list.
+func BenchmarkRoutingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RoutingAblation(experiments.DefaultRoutingAblation())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OnDemandMaxUtilization > 1 {
+			b.Fatal("on-demand oversubscribed a link")
+		}
+	}
+}
+
+// BenchmarkSpectrum regenerates E13: channel coordination demand.
+func BenchmarkSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SpectrumExperiment(experiments.DefaultSpectrum()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResilience regenerates E12: connectivity under satellite
+// failures.
+func BenchmarkResilience(b *testing.B) {
+	cfg := experiments.DefaultResilience()
+	cfg.MaxFailures, cfg.Step, cfg.Trials = 24, 12, 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Resilience(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTN regenerates E11: store-and-forward vs instant connectivity
+// for sparse fleets.
+func BenchmarkDTN(b *testing.B) {
+	cfg := experiments.DefaultDTN()
+	cfg.FleetSizes = []int{4, 12}
+	cfg.Trials, cfg.HorizonS, cfg.IntervalS = 2, 3*3600, 300
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DTNExperiment(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncentives regenerates E10: the §5(4) membership case.
+func BenchmarkIncentives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.IncentivesExperiment(experiments.DefaultIncentives())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.FederatedAvail < r.SoloAvail {
+			b.Fatal("federation lost availability")
+		}
+	}
+}
+
+// BenchmarkCriticalMass regenerates E9: connectivity vs fleet size.
+func BenchmarkCriticalMass(b *testing.B) {
+	cfg := experiments.DefaultCriticalMass()
+	cfg.ProviderCounts = []int{3}
+	cfg.MaxSats, cfg.Step, cfg.Trials = 36, 16, 2
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CriticalMass(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks on the hot substrate paths ---
+
+// BenchmarkPropagation measures two-body position computation, the inner
+// loop of every topology build.
+func BenchmarkPropagation(b *testing.B) {
+	e := orbit.Circular(780, 86.4, 30, 45)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.PositionECEF(float64(i % 6000))
+	}
+}
+
+// BenchmarkSnapshotBuild measures one 66-satellite topology snapshot.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+	}
+	grounds := []topo.GroundSpec{{ID: "gs", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}}}
+	users := []topo.UserSpec{{ID: "u", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
+	cfg := topo.DefaultConfig()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = topo.Build(float64(i), cfg, specs, grounds, users)
+	}
+}
+
+// BenchmarkDijkstra measures one shortest-path query on the full snapshot.
+func BenchmarkDijkstra(b *testing.B) {
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+	}
+	grounds := []topo.GroundSpec{{ID: "gs", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}}}
+	users := []topo.UserSpec{{ID: "u", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
+	snap := topo.Build(0, topo.DefaultConfig(), specs, grounds, users)
+	cost := routing.LatencyCost(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.ShortestPath(snap, "u", "gs", cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSend measures one associated Send through a federation.
+func BenchmarkEndToEndSend(b *testing.B) {
+	net, err := QuickFederation(3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.AddUser("alice", "prov-0", LatLon{Lat: -1.29, Lon: 36.82}); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.BuildTopology(0, 60, 60); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.Associate("alice", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Send("alice", "gs-0", 1000, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

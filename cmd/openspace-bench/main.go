@@ -1,0 +1,184 @@
+// Command openspace-bench regenerates the paper's figures and the
+// repository's extension experiments (DESIGN.md E1–E13). Each experiment
+// prints an ASCII rendering to stdout and, with -csvdir, writes a CSV for
+// plotting.
+//
+// Usage:
+//
+//	openspace-bench -experiment all
+//	openspace-bench -experiment fig2b -csvdir out/
+//	openspace-bench -experiment fig2c -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/openspace-project/openspace/internal/experiments"
+	"github.com/openspace-project/openspace/internal/geo"
+)
+
+// renderer is the common shape of experiment results.
+type renderer interface {
+	Render(io.Writer) error
+	CSV(io.Writer) error
+}
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"one of: all, fig2a, fig2b, fig2c, federation, handover, mac, economics, links, incentives, routingablation, dtn, resilience, spectrum, criticalmass")
+	csvDir := flag.String("csvdir", "", "directory to write per-experiment CSV files (optional)")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	flag.Parse()
+
+	if err := run(*experiment, *csvDir, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "openspace-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(which, csvDir string, quick bool) error {
+	type entry struct {
+		name string
+		fn   func() (renderer, error)
+	}
+	table := []entry{
+		{"fig2a", func() (renderer, error) { return experiments.Fig2a(gridSize(quick)) }},
+		{"fig2b", func() (renderer, error) {
+			cfg := experiments.DefaultFig2b()
+			if quick {
+				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 6, 8
+			}
+			return experiments.Fig2b(cfg)
+		}},
+		{"fig2c", func() (renderer, error) {
+			cfg := experiments.DefaultFig2c()
+			if quick {
+				cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 6, 8, 2000
+			}
+			return experiments.Fig2c(cfg)
+		}},
+		{"federation", func() (renderer, error) {
+			cfg := experiments.DefaultFederation()
+			if quick {
+				cfg.MaxPerFleet, cfg.Step, cfg.GridSize = 12, 4, 2000
+			}
+			return experiments.Federation(cfg)
+		}},
+		{"handover", func() (renderer, error) {
+			cfg := experiments.DefaultHandover()
+			if quick {
+				cfg.HorizonS = 1200
+			}
+			return experiments.HandoverExperiment(cfg)
+		}},
+		{"mac", func() (renderer, error) {
+			cfg := experiments.DefaultMAC()
+			if quick {
+				cfg.MaxStations = 12
+			}
+			return experiments.MACExperiment(cfg)
+		}},
+		{"economics", func() (renderer, error) {
+			cfg := experiments.DefaultEcon()
+			if quick {
+				cfg.Transfers = 40
+			}
+			return experiments.EconExperiment(cfg)
+		}},
+		{"links", func() (renderer, error) {
+			return experiments.LinksExperiment(experiments.DefaultLinkDistances())
+		}},
+		{"routingablation", func() (renderer, error) {
+			return experiments.RoutingAblation(experiments.DefaultRoutingAblation())
+		}},
+		{"spectrum", func() (renderer, error) {
+			return experiments.SpectrumExperiment(experiments.DefaultSpectrum())
+		}},
+		{"resilience", func() (renderer, error) {
+			cfg := experiments.DefaultResilience()
+			if quick {
+				cfg.MaxFailures, cfg.Step, cfg.Trials = 24, 8, 4
+			}
+			return experiments.Resilience(cfg)
+		}},
+		{"dtn", func() (renderer, error) {
+			cfg := experiments.DefaultDTN()
+			if quick {
+				cfg.FleetSizes = []int{4, 12}
+				cfg.Trials, cfg.HorizonS, cfg.IntervalS = 3, 3*3600, 300
+			}
+			return experiments.DTNExperiment(cfg)
+		}},
+		{"incentives", func() (renderer, error) {
+			return experiments.IncentivesExperiment(experiments.DefaultIncentives())
+		}},
+		{"criticalmass", func() (renderer, error) {
+			cfg := experiments.DefaultCriticalMass()
+			if quick {
+				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 8, 3
+			}
+			return experiments.CriticalMass(cfg)
+		}},
+	}
+
+	ran := 0
+	for _, e := range table {
+		if which != "all" && which != e.name {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", e.name)
+		res, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return fmt.Errorf("%s: render: %w", e.name, err)
+		}
+		fmt.Println()
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, e.name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.CSV(f); err != nil {
+				f.Close()
+				return fmt.Errorf("%s: csv: %w", e.name, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	// Hotspot availability is a scalar pair rather than a renderer; print
+	// it alongside federation output.
+	if which == "all" || which == "federation" {
+		solo, fed, err := experiments.HotspotScenario(
+			experiments.DefaultFederation(), geo.LatLon{Lat: 7.1, Lon: 125.6}, 500)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hotspot availability (disaster-zone user): best solo %.1f%%, federated %.1f%%\n",
+			solo*100, fed*100)
+	}
+	return nil
+}
+
+func gridSize(quick bool) int {
+	if quick {
+		return 2000
+	}
+	return 10000
+}

@@ -1,0 +1,133 @@
+// Command openspace-constellation generates a Walker constellation, renders
+// its sub-satellite points as an ASCII world map (the paper's Figure 2(a)
+// view) and reports coverage and ISL statistics. With -csv it writes the
+// satellite ground positions for external plotting.
+//
+// Usage:
+//
+//	openspace-constellation                       # the Iridium reference
+//	openspace-constellation -sats 72 -planes 6 -incl 80 -phasing 1
+//	openspace-constellation -random 40 -seed 7    # uncoordinated fleets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"github.com/openspace-project/openspace/internal/experiments"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+func main() {
+	sats := flag.Int("sats", 66, "total satellites (walker mode)")
+	planes := flag.Int("planes", 6, "orbital planes (walker mode)")
+	phasing := flag.Int("phasing", 2, "walker phasing factor F")
+	alt := flag.Float64("alt", 780, "altitude in km")
+	incl := flag.Float64("incl", 86.4, "inclination in degrees")
+	delta := flag.Bool("delta", false, "walker delta (360° node spread) instead of star")
+	random := flag.Int("random", 0, "generate N random uncoordinated orbits instead of a walker")
+	seed := flag.Int64("seed", 1, "random seed for -random")
+	atT := flag.Float64("t", 0, "epoch offset in seconds at which to snapshot")
+	mask := flag.Float64("mask", 10, "ground elevation mask in degrees for coverage")
+	csvPath := flag.String("csv", "", "write sub-satellite points to this CSV file")
+	tlePath := flag.String("tle", "", "export the constellation as a TLE catalogue to this file")
+	flag.Parse()
+
+	if err := run(*sats, *planes, *phasing, *alt, *incl, *delta, *random, *seed, *atT, *mask, *csvPath, *tlePath); err != nil {
+		fmt.Fprintf(os.Stderr, "openspace-constellation: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(sats, planes, phasing int, alt, incl float64, delta bool, random int, seed int64, atT, mask float64, csvPath, tlePath string) error {
+	var c *orbit.Constellation
+	var err error
+	if random > 0 {
+		c = orbit.RandomCircular(random, alt, rand.New(rand.NewSource(seed)))
+	} else {
+		cfg := orbit.WalkerConfig{
+			Name: "custom", TotalSats: sats, Planes: planes, PhasingFactor: phasing,
+			AltitudeKm: alt, InclinationDeg: incl, Star: !delta,
+		}
+		c, err = cfg.Build()
+		if err != nil {
+			return err
+		}
+	}
+
+	points := make([]geo.LatLon, c.Len())
+	for i, s := range c.Satellites {
+		points[i] = s.Elements.SubSatellitePoint(atT)
+	}
+	renderMap(points)
+
+	caps := c.Footprints(atT, mask)
+	exact := geo.ExactCoverageFraction(caps, 10000)
+	worst := geo.WorstCaseCoverageFraction(caps)
+	fmt.Printf("constellation: %s | %d satellites | %.0f km | t=%.0fs\n",
+		c.Name, c.Len(), alt, atT)
+	fmt.Printf("coverage @ %.0f° mask: exact %.1f%% | worst-case rule %.1f%%\n",
+		mask, exact*100, worst*100)
+	period := c.Satellites[0].Elements.PeriodS()
+	fmt.Printf("orbital period: %.1f min\n", period/60)
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rows := make([][]string, len(points))
+		for i, p := range points {
+			rows[i] = []string{c.Satellites[i].ID,
+				fmt.Sprintf("%.4f", p.Lat), fmt.Sprintf("%.4f", p.Lon)}
+		}
+		if err := experiments.WriteCSV(f, []string{"sat", "lat_deg", "lon_deg"}, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if tlePath != "" {
+		f, err := os.Create(tlePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// Export in the catalogue format the paper's public-orbit argument
+		// relies on: any other provider can ingest these lines.
+		for i, s := range c.Satellites {
+			t := orbit.FromElements(s.ID, 90000+i, s.Elements)
+			l1, l2 := t.FormatTLE()
+			fmt.Fprintf(f, "%s\n%s\n%s\n", s.ID, l1, l2)
+		}
+		fmt.Printf("wrote %s (%d TLE sets)\n", tlePath, c.Len())
+	}
+	return nil
+}
+
+func renderMap(points []geo.LatLon) {
+	const width, height = 72, 24
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, p := range points {
+		col := int((p.Lon + 180) / 360 * float64(width-1))
+		row := int((90 - p.Lat) / 180 * float64(height-1))
+		col = clamp(col, 0, width-1)
+		row = clamp(row, 0, height-1)
+		grid[row][col] = '@'
+	}
+	for _, line := range grid {
+		fmt.Printf("  %s\n", line)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	return int(math.Max(float64(lo), math.Min(float64(hi), float64(v))))
+}

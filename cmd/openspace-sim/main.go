@@ -1,0 +1,197 @@
+// Command openspace-sim runs an end-to-end OpenSpace federation
+// simulation: it builds the Iridium reference constellation split across N
+// providers, places users at population-weighted world cities, associates
+// and authenticates them, drives random transfers through the network for
+// the configured duration, and reports latency, accounting and settlement.
+//
+// Usage:
+//
+//	openspace-sim -providers 3 -users 12 -transfers 200 -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/sim"
+)
+
+func main() {
+	providers := flag.Int("providers", 3, "number of federated providers")
+	users := flag.Int("users", 12, "total users (spread across providers)")
+	transfers := flag.Int("transfers", 200, "number of transfers to attempt")
+	bytesPer := flag.Int64("bytes", 100_000_000, "bytes per transfer")
+	duration := flag.Float64("duration", 600, "simulated seconds")
+	seed := flag.Int64("seed", 42, "random seed")
+	scenario := flag.Bool("scenario", false, "drive the workload through the discrete-event engine (Poisson arrivals, automatic handovers) instead of fixed transfer counts")
+	flag.Parse()
+
+	if *scenario {
+		if err := runScenario(*providers, *users, *duration, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*providers, *users, *transfers, *bytesPer, *duration, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(providers, users, transfers int, bytesPer int64, duration float64, seed int64) error {
+	if providers <= 0 || users <= 0 || transfers <= 0 {
+		return fmt.Errorf("providers, users and transfers must be positive")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return err
+	}
+	fleets := core.SplitConstellation(c, providers, 0.3)
+	sites := []geo.LatLon{
+		{Lat: 47.6, Lon: -122.3}, {Lat: -1.29, Lon: 36.82}, {Lat: 51.51, Lon: -0.13},
+		{Lat: -33.87, Lon: 151.21}, {Lat: 35.68, Lon: 139.69}, {Lat: -23.55, Lon: -46.63},
+	}
+	pcs := make([]core.ProviderConfig, providers)
+	var stationIDs []string
+	for p := range pcs {
+		gsID := fmt.Sprintf("gs-%d", p)
+		stationIDs = append(stationIDs, gsID)
+		pcs[p] = core.ProviderConfig{
+			ID:            fmt.Sprintf("prov-%d", p),
+			Satellites:    fleets[p],
+			CarriagePerGB: 0.15 + 0.05*float64(p%3),
+			GroundStations: []core.GroundStationConfig{{
+				ID: gsID, Pos: sites[p%len(sites)], BackhaulBps: 10e9,
+				PricePerGB: 0.05, VisitorSurge: 2,
+			}},
+		}
+	}
+	net, err := core.NewNetwork(core.NetworkConfig{Providers: pcs, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	positions := sim.CityUsers(users, 30, rng)
+	var userIDs []string
+	for i, pos := range positions {
+		id := fmt.Sprintf("user-%d", i)
+		if _, err := net.AddUser(id, fmt.Sprintf("prov-%d", i%providers), pos); err != nil {
+			return err
+		}
+		userIDs = append(userIDs, id)
+	}
+	if err := net.BuildTopology(0, duration, 60); err != nil {
+		return err
+	}
+	fmt.Printf("federation: %d providers, %d satellites, %d users, %d stations\n",
+		providers, c.Len(), users, len(stationIDs))
+
+	associated := 0
+	for _, id := range userIDs {
+		if err := net.Associate(id, 0); err == nil {
+			associated++
+		}
+	}
+	fmt.Printf("associated and authenticated: %d/%d users\n", associated, users)
+
+	var latency sim.Histogram
+	var carriage, gateway float64
+	delivered := 0
+	for i := 0; i < transfers; i++ {
+		uid := userIDs[rng.Intn(len(userIDs))]
+		gs := stationIDs[rng.Intn(len(stationIDs))]
+		t := rng.Float64() * duration
+		d, err := net.Send(uid, gs, bytesPer, t)
+		if err != nil {
+			continue
+		}
+		delivered++
+		latency.Add(d.LatencyS * 1000)
+		carriage += d.CarriageUSD
+		gateway += d.GatewayFeeUSD
+	}
+	fmt.Printf("transfers delivered: %d/%d\n", delivered, transfers)
+	fmt.Printf("latency ms: mean %.1f | p50 %.1f | p95 %.1f | max %.1f\n",
+		latency.Mean(), latency.Quantile(0.5), latency.Quantile(0.95), latency.Max())
+	fmt.Printf("fees: carriage $%.2f | gateway $%.2f\n", carriage, gateway)
+
+	// Cross-verify all ledgers, then settle provider 0's books.
+	ids := net.Providers()
+	disc := 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			disc += len(economics.CrossVerify(net.Provider(ids[i]).Ledger, net.Provider(ids[j]).Ledger))
+		}
+	}
+	fmt.Printf("ledger cross-verification discrepancies: %d\n", disc)
+	inv := economics.Settle(net.Provider(ids[0]).Ledger, economics.RateCard{Default: 0.20})
+	for _, v := range inv {
+		fmt.Printf("  %s bills %s $%.2f (%.2f GB)\n",
+			v.Flow.Carrier, v.Flow.Customer, v.AmountUSD, float64(v.Bytes)/1e9)
+	}
+	for _, pc := range economics.PeeringCandidates(net.Provider(ids[0]).Ledger, bytesPer, 0.3) {
+		fmt.Printf("  peering recommended: %s ↔ %s (symmetry %.2f)\n", pc.A, pc.B, pc.Symmetry)
+	}
+	return nil
+}
+
+// runScenario drives the engine-based workload (core.RunScenario).
+func runScenario(providers, users int, duration float64, seed int64) error {
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return err
+	}
+	fleets := core.SplitConstellation(c, providers, 0.3)
+	sites := []geo.LatLon{
+		{Lat: 47.6, Lon: -122.3}, {Lat: -1.29, Lon: 36.82}, {Lat: 51.51, Lon: -0.13},
+		{Lat: -33.87, Lon: 151.21}, {Lat: 35.68, Lon: 139.69}, {Lat: -23.55, Lon: -46.63},
+	}
+	pcs := make([]core.ProviderConfig, providers)
+	for p := range pcs {
+		pcs[p] = core.ProviderConfig{
+			ID: fmt.Sprintf("prov-%d", p), Satellites: fleets[p], CarriagePerGB: 0.2,
+			GroundStations: []core.GroundStationConfig{{
+				ID: fmt.Sprintf("gs-%d", p), Pos: sites[p%len(sites)],
+				BackhaulBps: 10e9, PricePerGB: 0.05, VisitorSurge: 2,
+			}},
+		}
+	}
+	net, err := core.NewNetwork(core.NetworkConfig{Providers: pcs, Seed: seed})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i, pos := range sim.CityUsers(users, 30, rng) {
+		if _, err := net.AddUser(fmt.Sprintf("user-%d", i), fmt.Sprintf("prov-%d", i%providers), pos); err != nil {
+			return err
+		}
+	}
+	res, err := net.RunScenario(core.Scenario{
+		DurationS:         duration,
+		SnapshotIntervalS: 60,
+		PerUserRate:       0.02,
+		MinBytes:          1_000_000,
+		MaxBytes:          500_000_000,
+		Seed:              seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario over %.0f s: %d/%d transfers delivered (%.0f%%), %.2f GB\n",
+		duration, res.TransfersDelivered, res.TransfersAttempted,
+		res.DeliveryRate()*100, float64(res.BytesDelivered)/1e9)
+	fmt.Printf("latency ms: mean %.1f | p95 %.1f\n",
+		res.LatencyS.Mean()*1000, res.LatencyS.Quantile(0.95)*1000)
+	fmt.Printf("handovers: %d (%d cross-provider) | fees: carriage $%.2f gateway $%.2f\n",
+		res.Handovers, res.CrossProviderHandovers, res.CarriageUSD, res.GatewayUSD)
+	fmt.Printf("engine events processed: %d\n", res.EventsProcessed)
+	return nil
+}

@@ -1,0 +1,104 @@
+// Economics: the §3 cost model end to end. Users of different ISPs push
+// traffic through each other's satellites; every provider's ledger tracks
+// who carried what; the ledgers cross-verify; bilateral rates settle into
+// invoices; and symmetric pairs get a peering recommendation. Finally, the
+// capex model shows why splitting a constellation across firms lowers the
+// entry barrier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	openspace "github.com/openspace-project/openspace"
+)
+
+func main() {
+	net, err := openspace.QuickFederation(3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	users := map[string]openspace.LatLon{
+		"amina": {Lat: -1.29, Lon: 36.82},  // Nairobi, prov-0
+		"bjorn": {Lat: 64.15, Lon: -21.94}, // Reykjavik, prov-1
+		"chen":  {Lat: 31.23, Lon: 121.47}, // Shanghai, prov-2
+	}
+	isps := []string{"prov-0", "prov-1", "prov-2"}
+	i := 0
+	var names []string
+	for name, pos := range users {
+		if _, err := net.AddUser(name, isps[i%3], pos); err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
+		i++
+	}
+	if err := net.BuildTopology(0, 600, 60); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range names {
+		if err := net.Associate(name, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Everyone sends 500 MB to every gateway, twice, across ten minutes.
+	const chunk = 500_000_000
+	sent := 0
+	for round := 0; round < 2; round++ {
+		for _, name := range names {
+			for g := 0; g < 3; g++ {
+				t := float64(round*300 + g*60)
+				if _, err := net.Send(name, fmt.Sprintf("gs-%d", g), chunk, t); err == nil {
+					sent++
+				}
+			}
+		}
+	}
+	fmt.Printf("delivered %d transfers of 0.5 GB across 3 providers\n\n", sent)
+
+	// §3: ledgers are cross-verifiable between any pair of members.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			a, b := net.Provider(isps[i]).Ledger, net.Provider(isps[j]).Ledger
+			if ds := openspace.CrossVerify(a, b); len(ds) != 0 {
+				fmt.Printf("ledger mismatch %s/%s: %v\n", isps[i], isps[j], ds)
+			} else {
+				fmt.Printf("ledgers %s ↔ %s agree\n", isps[i], isps[j])
+			}
+		}
+	}
+
+	// Settlement at a flat $0.20/GB bilateral rate.
+	fmt.Println("\nsettlement (prov-0's books):")
+	inv := openspace.Settle(net.Provider("prov-0").Ledger, openspace.RateCard{Default: 0.20})
+	for _, v := range inv {
+		fmt.Printf("  %s bills %s $%6.2f for %5.2f GB carried\n",
+			v.Flow.Carrier, v.Flow.Customer, v.AmountUSD, float64(v.Bytes)/1e9)
+	}
+	for p, bal := range openspace.NetBalances(inv) {
+		fmt.Printf("  net position %s: %+.2f USD\n", p, bal)
+	}
+
+	// Peering: symmetric mutual carriage should be settled for free.
+	for _, pc := range openspace.PeeringCandidates(net.Provider("prov-0").Ledger, chunk, 0.3) {
+		fmt.Printf("\npeering recommended: %s ↔ %s (volume symmetry %.2f)\n", pc.A, pc.B, pc.Symmetry)
+	}
+
+	// Capex: why democratization works. One firm building all 66 satellites
+	// vs six firms building 11 each.
+	capex := openspace.DefaultCapex()
+	global := openspace.FleetPlan{Satellites: 66, LaserFraction: 0.3, GroundStations: 6}
+	full, err := capex.FleetUSD(global)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio, err := capex.EntryBarrierRatio(global, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncapex: a monolithic 66-satellite system costs $%.0fM up front;\n", full/1e6)
+	fmt.Printf("splitting it across 6 OpenSpace firms cuts each firm's outlay %.1fx\n", ratio)
+	fmt.Printf("(laser terminal $%.0fk and FCC fee $%.0f per satellite, per the paper)\n",
+		capex.LaserTerminalUSD/1e3, capex.RegulatoryFeeUSD)
+}

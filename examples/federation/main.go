@@ -1,0 +1,91 @@
+// Federation: the paper's core argument in one runnable scenario. Three
+// small firms each launch a fleet far too small for global coverage.
+// Alone, each covers a patchwork of the Earth; federated through OpenSpace
+// they approach continuous coverage — and a disaster-zone user sees the
+// difference as hours of connectivity per day.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	openspace "github.com/openspace-project/openspace"
+)
+
+func main() {
+	const (
+		providers   = 3
+		satsPerFirm = 14
+		gridSize    = 10000
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Each firm launches its own uncoordinated random fleet — nobody plans
+	// a joint constellation, which is exactly the paper's setting.
+	cfgs := make([]openspace.ProviderConfig, providers)
+	for p := range cfgs {
+		c := openspace.RandomConstellation(satsPerFirm, 780, rng)
+		sats := make([]openspace.SatelliteConfig, c.Len())
+		for i, s := range c.Satellites {
+			sats[i] = openspace.SatelliteConfig{
+				ID:       fmt.Sprintf("p%d-%s", p, s.ID),
+				Elements: s.Elements,
+			}
+		}
+		cfgs[p] = openspace.ProviderConfig{ID: fmt.Sprintf("firm-%d", p), Satellites: sats}
+	}
+	net, err := openspace.NewNetwork(openspace.NetworkConfig{Providers: cfgs, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gain, err := net.FederationGain(0, gridSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("each firm: %d satellites at 780 km\n\n", satsPerFirm)
+	for _, id := range net.Providers() {
+		fmt.Printf("  %s alone covers %5.1f%% of Earth\n", id, gain.Solo[id]*100)
+	}
+	fmt.Printf("\n  federated, they cover %5.1f%% — vs best solo %5.1f%%\n",
+		gain.Union*100, gain.BestSolo*100)
+
+	// A user in a disaster zone (Mindanao) needs whatever passes overhead:
+	// count visibility over a day, solo vs federated.
+	hotspot := openspace.LatLon{Lat: 7.1, Lon: 125.6}
+	day := 86400.0
+	samples := 500
+	visible := func(fleets []openspace.ProviderConfig, t float64) bool {
+		for _, f := range fleets {
+			for _, s := range f.Satellites {
+				if s.Elements.Visible(hotspot, t, 10) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	bestSolo, federated := 0, 0
+	for i := 0; i < samples; i++ {
+		t := day * float64(i) / float64(samples)
+		if visible(cfgs, t) {
+			federated++
+		}
+	}
+	for p := range cfgs {
+		hits := 0
+		for i := 0; i < samples; i++ {
+			t := day * float64(i) / float64(samples)
+			if visible(cfgs[p:p+1], t) {
+				hits++
+			}
+		}
+		if hits > bestSolo {
+			bestSolo = hits
+		}
+	}
+	fmt.Printf("\ndisaster-zone availability over a day:\n")
+	fmt.Printf("  best single firm: %4.1f%% of the time\n", 100*float64(bestSolo)/float64(samples))
+	fmt.Printf("  federation:       %4.1f%% of the time\n", 100*float64(federated)/float64(samples))
+}

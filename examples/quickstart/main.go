@@ -1,0 +1,56 @@
+// Quickstart: build a three-provider OpenSpace federation on the paper's
+// Iridium-like reference constellation, connect a user in Nairobi, and
+// deliver a gigabyte to a gateway in Seattle — association, home-ISP
+// authentication, multi-provider routing and per-hop accounting included.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	openspace "github.com/openspace-project/openspace"
+)
+
+func main() {
+	// Three small firms, each owning a third of the 66-satellite
+	// constellation and one gateway ground station.
+	net, err := openspace.QuickFederation(3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("federation members:", net.Providers())
+
+	// A subscriber of prov-0, located in Nairobi.
+	if _, err := net.AddUser("alice", "prov-0", openspace.LatLon{Lat: -1.29, Lon: 36.82}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Precompute the public topology for the next 10 minutes (the paper's
+	// proactive routing regime: orbits are public, so every provider can
+	// compute the same snapshots).
+	if err := net.BuildTopology(0, 600, 60); err != nil {
+		log.Fatal(err)
+	}
+
+	// Associate: beacon scan, closest-satellite selection, RADIUS-style
+	// authentication with the home ISP, roaming certificate issuance.
+	if err := net.Associate("alice", 0); err != nil {
+		log.Fatal(err)
+	}
+	sat, provider := net.User("alice").Terminal.Serving()
+	fmt.Printf("alice associated with %s (owned by %s)\n", sat, provider)
+	if provider != "prov-0" {
+		fmt.Println("alice is roaming — served by another provider's satellite")
+	}
+
+	// Send 1 GB to the Seattle gateway (gs-0, owned by prov-0).
+	d, err := net.Send("alice", "gs-0", 1<<30, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered over %d hops in %.1f ms\n", d.Path.Hops, d.LatencyS*1000)
+	fmt.Printf("path: %v\n", d.Path.Nodes)
+	fmt.Printf("providers carrying the traffic: %v\n", d.HopOwners)
+	fmt.Printf("cross-provider hops: %d | carriage fees $%.3f | gateway fee $%.3f\n",
+		d.CrossOwnerHops, d.CarriageUSD, d.GatewayFeeUSD)
+}

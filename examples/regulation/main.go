@@ -1,0 +1,74 @@
+// Regulation: the paper's §5(3) open problem made concrete. A user in
+// Paris operates under a data-residency rule — their traffic may only touch
+// the ground inside Europe. The residency filter removes non-compliant
+// gateway links at path-computation time, so the compliant route is chosen
+// even when a non-European gateway would be faster; licensing and spectrum
+// checks round out the jurisdiction model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	openspace "github.com/openspace-project/openspace"
+)
+
+func main() {
+	// One provider's Iridium fleet, gateways in Seattle and London.
+	c, err := openspace.Iridium().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sats := make([]openspace.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = openspace.SatSpec{ID: s.ID, Provider: "acme", Elements: s.Elements}
+	}
+	paris := openspace.LatLon{Lat: 48.85, Lon: 2.35}
+	users := []openspace.UserSpec{{ID: "user-paris", Provider: "acme", Pos: paris}}
+	grounds := []openspace.GroundSpec{
+		{ID: "gs-seattle", Provider: "acme", Pos: openspace.LatLon{Lat: 47.6, Lon: -122.3}},
+		{ID: "gs-london", Provider: "acme", Pos: openspace.LatLon{Lat: 51.51, Lon: -0.13}},
+	}
+	snap := openspace.BuildSnapshot(0, openspace.DefaultTopology(), sats, grounds, users)
+
+	atlas := openspace.DefaultAtlas()
+	fmt.Println("jurisdictions:", atlas.Regions())
+	userRegion := atlas.RegionOf(paris)
+	fmt.Printf("user region: %s\n\n", userRegion)
+
+	policy := openspace.RegulatoryPolicy{
+		Residency: map[string][]string{"europe": {"europe"}},
+		Spectrum:  map[string][]openspace.Band{"europe": {openspace.BandKu}},
+		Licenses:  map[string]map[string]bool{"acme": {"europe": true, "north-america": true}},
+	}
+
+	// Without the filter: whichever gateway is nearer wins.
+	for _, gs := range []string{"gs-seattle", "gs-london"} {
+		p, err := openspace.ShortestPath(snap, "user-paris", gs, openspace.LatencyCost(0))
+		if err != nil {
+			fmt.Printf("unfiltered %s: unreachable\n", gs)
+			continue
+		}
+		fmt.Printf("unfiltered %-10s: %d hops, %.1f ms\n", gs, p.Hops, p.DelayS*1000)
+	}
+
+	// With the filter: the Seattle downlink is severed for this user.
+	cost := openspace.ResidencyFilter(openspace.LatencyCost(0), atlas, policy, userRegion)
+	fmt.Println("\nwith europe-only data residency:")
+	for _, gs := range []string{"gs-seattle", "gs-london"} {
+		p, err := openspace.ShortestPath(snap, "user-paris", gs, cost)
+		if err != nil {
+			fmt.Printf("  %-10s: blocked (%s outside permitted regions)\n", gs,
+				atlas.RegionOf(snap.Node(gs).Pos.LatLon()))
+			continue
+		}
+		fmt.Printf("  %-10s: %d hops, %.1f ms — compliant\n", gs, p.Hops, p.DelayS*1000)
+	}
+
+	// Licensing and spectrum checks.
+	fmt.Println("\nlicensing and spectrum:")
+	fmt.Printf("  acme licensed to serve europe: %v\n", policy.Licensed("acme", "europe"))
+	fmt.Printf("  acme licensed to serve asia:   %v\n", policy.Licensed("acme", "asia"))
+	fmt.Printf("  Ku-band ground links in europe: %v\n", policy.BandAllowed("europe", openspace.BandKu))
+	fmt.Printf("  Ka-band ground links in europe: %v\n", policy.BandAllowed("europe", openspace.BandKa))
+}

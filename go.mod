@@ -1,0 +1,3 @@
+module github.com/openspace-project/openspace
+
+go 1.22

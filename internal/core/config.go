@@ -1,0 +1,158 @@
+// Package core assembles the OpenSpace architecture: multiple independent
+// satellite providers — each with its own spacecraft, ground stations,
+// authentication server and traffic ledger — federated through the shared
+// standards implemented by the lower-level packages (frames, ISL pairing,
+// routing, authentication, economics).
+//
+// A core.Network is one OpenSpace deployment. It exposes the paper's
+// end-to-end story (§2, Figure 1): users associate with whatever satellite
+// is overhead, authenticate with their home ISP through the network, data
+// is routed across heterogeneous, multi-owner ISLs to independently owned
+// gateway ground stations, and every byte carried by someone else's
+// infrastructure lands in cross-verifiable ledgers for settlement.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// SatelliteConfig describes one spacecraft in a provider's fleet.
+type SatelliteConfig struct {
+	ID       string
+	Elements orbit.Elements
+	HasLaser bool
+	// MaxISLs caps simultaneous crosslinks (0 = unlimited).
+	MaxISLs int
+}
+
+// GroundStationConfig describes one gateway station.
+type GroundStationConfig struct {
+	ID           string
+	Pos          geo.LatLon
+	BackhaulBps  float64
+	PricePerGB   float64 // gateway fee for home traffic
+	VisitorSurge float64 // visitor surcharge factor under load
+}
+
+// ProviderConfig describes one OpenSpace member firm.
+type ProviderConfig struct {
+	ID             string
+	Satellites     []SatelliteConfig
+	GroundStations []GroundStationConfig
+	// CarriagePerGB is what this provider charges others for carrying a GB
+	// across its infrastructure (§3: bilateral, here flat per provider).
+	CarriagePerGB float64
+}
+
+// NetworkConfig assembles a federation.
+type NetworkConfig struct {
+	Providers []ProviderConfig
+	// Topology feasibility rules; zero value upgraded to topo.DefaultConfig.
+	Topo topo.Config
+	// CertTTLS is the roaming-certificate validity in seconds.
+	CertTTLS float64
+	// Seed drives all randomness (key generation, nonces).
+	Seed int64
+	// PerHopProcessingS is the forwarding delay added per hop when
+	// estimating delivery latency.
+	PerHopProcessingS float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c NetworkConfig) Validate() error {
+	if len(c.Providers) == 0 {
+		return errors.New("core: at least one provider required")
+	}
+	seenProvider := map[string]bool{}
+	seenNode := map[string]bool{}
+	for _, p := range c.Providers {
+		if p.ID == "" {
+			return errors.New("core: provider ID required")
+		}
+		if seenProvider[p.ID] {
+			return fmt.Errorf("core: duplicate provider %q", p.ID)
+		}
+		seenProvider[p.ID] = true
+		if p.CarriagePerGB < 0 {
+			return fmt.Errorf("core: provider %q carriage price negative", p.ID)
+		}
+		for _, s := range p.Satellites {
+			if s.ID == "" {
+				return fmt.Errorf("core: provider %q has satellite without ID", p.ID)
+			}
+			if seenNode[s.ID] {
+				return fmt.Errorf("core: duplicate node ID %q", s.ID)
+			}
+			seenNode[s.ID] = true
+			if err := s.Elements.Validate(); err != nil {
+				return fmt.Errorf("core: satellite %q: %w", s.ID, err)
+			}
+			if s.MaxISLs < 0 {
+				return fmt.Errorf("core: satellite %q MaxISLs negative", s.ID)
+			}
+		}
+		for _, g := range p.GroundStations {
+			if g.ID == "" {
+				return fmt.Errorf("core: provider %q has station without ID", p.ID)
+			}
+			if seenNode[g.ID] {
+				return fmt.Errorf("core: duplicate node ID %q", g.ID)
+			}
+			seenNode[g.ID] = true
+			if !g.Pos.Valid() {
+				return fmt.Errorf("core: station %q position invalid", g.ID)
+			}
+			if g.BackhaulBps <= 0 {
+				return fmt.Errorf("core: station %q backhaul must be positive", g.ID)
+			}
+		}
+	}
+	if c.CertTTLS < 0 {
+		return errors.New("core: certificate TTL negative")
+	}
+	if c.PerHopProcessingS < 0 {
+		return errors.New("core: per-hop processing negative")
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued fields.
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	if c.Topo == (topo.Config{}) {
+		c.Topo = topo.DefaultConfig()
+	}
+	if c.CertTTLS == 0 {
+		c.CertTTLS = 24 * 3600
+	}
+	if c.PerHopProcessingS == 0 {
+		c.PerHopProcessingS = 0.001
+	}
+	return c
+}
+
+// SplitConstellation partitions a constellation round-robin across n
+// provider fleets — the standard way the experiments model independent
+// firms whose uncoordinated fleets interleave in orbit.
+func SplitConstellation(c *orbit.Constellation, n int, laserFraction float64) [][]SatelliteConfig {
+	if n <= 0 {
+		return nil
+	}
+	fleets := make([][]SatelliteConfig, n)
+	laserEvery := 0
+	if laserFraction > 0 {
+		laserEvery = int(1 / laserFraction)
+	}
+	for i, s := range c.Satellites {
+		cfg := SatelliteConfig{ID: s.ID, Elements: s.Elements}
+		if laserEvery > 0 && i%laserEvery == 0 {
+			cfg.HasLaser = true
+		}
+		fleets[i%n] = append(fleets[i%n], cfg)
+	}
+	return fleets
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/assoc"
+	"github.com/openspace-project/openspace/internal/auth"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// threeProviderConfig splits Iridium across three firms, with ground
+// stations owned by two of them.
+func threeProviderConfig(t *testing.T) NetworkConfig {
+	t.Helper()
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleets := SplitConstellation(c, 3, 0.3)
+	return NetworkConfig{
+		Providers: []ProviderConfig{
+			{
+				ID: "acme", Satellites: fleets[0], CarriagePerGB: 0.20,
+				GroundStations: []GroundStationConfig{
+					{ID: "gs-seattle", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}, BackhaulBps: 10e9, PricePerGB: 0.05, VisitorSurge: 2},
+				},
+			},
+			{
+				ID: "orbitco", Satellites: fleets[1], CarriagePerGB: 0.30,
+				GroundStations: []GroundStationConfig{
+					{ID: "gs-nairobi", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}, BackhaulBps: 5e9, PricePerGB: 0.08, VisitorSurge: 3},
+				},
+			},
+			{ID: "skynet", Satellites: fleets[2], CarriagePerGB: 0.25},
+		},
+		Seed: 42,
+	}
+}
+
+// builtNetwork returns a network with one user, topology built.
+func builtNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddUser("alice", "acme", geo.LatLon{Lat: 40.44, Lon: -79.99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.BuildTopology(0, 300, 60); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := threeProviderConfig(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*NetworkConfig){
+		func(c *NetworkConfig) { c.Providers = nil },
+		func(c *NetworkConfig) { c.Providers[0].ID = "" },
+		func(c *NetworkConfig) { c.Providers[1].ID = c.Providers[0].ID },
+		func(c *NetworkConfig) { c.Providers[0].CarriagePerGB = -1 },
+		func(c *NetworkConfig) { c.Providers[0].Satellites[0].ID = "" },
+		func(c *NetworkConfig) { c.Providers[0].Satellites[1].ID = c.Providers[0].Satellites[0].ID },
+		func(c *NetworkConfig) { c.Providers[0].Satellites[0].Elements = orbit.Elements{} },
+		func(c *NetworkConfig) { c.Providers[0].Satellites[0].MaxISLs = -1 },
+		func(c *NetworkConfig) { c.Providers[0].GroundStations[0].ID = "" },
+		func(c *NetworkConfig) { c.Providers[0].GroundStations[0].Pos = geo.LatLon{Lat: 99} },
+		func(c *NetworkConfig) { c.Providers[0].GroundStations[0].BackhaulBps = 0 },
+		func(c *NetworkConfig) { c.CertTTLS = -1 },
+		func(c *NetworkConfig) { c.PerHopProcessingS = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := threeProviderConfig(t)
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	// Duplicate node ID across providers.
+	cfg := threeProviderConfig(t)
+	cfg.Providers[1].GroundStations[0].ID = cfg.Providers[0].GroundStations[0].ID
+	if cfg.Validate() == nil {
+		t.Error("duplicate station ID across providers should be invalid")
+	}
+}
+
+func TestSplitConstellation(t *testing.T) {
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleets := SplitConstellation(c, 3, 0.5)
+	if len(fleets) != 3 {
+		t.Fatalf("fleet count %d", len(fleets))
+	}
+	total, lasers := 0, 0
+	for _, f := range fleets {
+		total += len(f)
+		for _, s := range f {
+			if s.HasLaser {
+				lasers++
+			}
+		}
+	}
+	if total != 66 {
+		t.Errorf("total satellites %d", total)
+	}
+	if lasers != 33 {
+		t.Errorf("laser satellites %d, want 33 (every 2nd)", lasers)
+	}
+	if SplitConstellation(c, 0, 0) != nil {
+		t.Error("zero fleets should be nil")
+	}
+	// Zero laser fraction → none.
+	for _, f := range SplitConstellation(c, 2, 0) {
+		for _, s := range f {
+			if s.HasLaser {
+				t.Fatal("laser satellite with zero fraction")
+			}
+		}
+	}
+}
+
+func TestNewNetworkFederation(t *testing.T) {
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Providers(); len(got) != 3 || got[0] != "acme" {
+		t.Errorf("providers = %v", got)
+	}
+	// Cross-provider trust: orbitco trusts acme-issued certificates.
+	acme := n.Provider("acme")
+	orbitco := n.Provider("orbitco")
+	acme.Auth.Enroll("u", []byte("s"))
+	nonce, err := acme.Auth.Challenge("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := acme.Auth.VerifyProof("u", 1, proofFor([]byte("s"), 1, nonce), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orbitco.Trust.Verify(cert, 1); err != nil {
+		t.Errorf("federated trust broken: %v", err)
+	}
+	if n.Provider("ghost") != nil {
+		t.Error("phantom provider")
+	}
+}
+
+func TestAddUser(t *testing.T) {
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := n.AddUser("alice", "acme", geo.LatLon{Lat: 1, Lon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Terminal.State() != assoc.StateIdle {
+		t.Error("fresh user should be idle")
+	}
+	if _, err := n.AddUser("alice", "acme", geo.LatLon{}); err == nil {
+		t.Error("duplicate user should fail")
+	}
+	if _, err := n.AddUser("bob", "ghost", geo.LatLon{}); err == nil {
+		t.Error("unknown ISP should fail")
+	}
+	if n.User("alice") != u || n.User("ghost") != nil {
+		t.Error("User lookup broken")
+	}
+}
+
+func TestAssociateEndToEnd(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	u := n.User("alice")
+	if u.Terminal.State() != assoc.StateAssociated {
+		t.Fatalf("state = %v", u.Terminal.State())
+	}
+	sat, prov := u.Terminal.Serving()
+	if sat == "" || prov == "" {
+		t.Fatal("no serving satellite")
+	}
+	cert := u.Terminal.Certificate()
+	if cert == nil || cert.Issuer != "acme" {
+		t.Errorf("certificate = %v", cert)
+	}
+	// Roaming is expected: the serving provider is frequently not the home
+	// ISP with interleaved fleets — either way the cert must verify
+	// under every provider's trust store.
+	for _, pid := range n.Providers() {
+		if err := n.Provider(pid).Trust.Verify(cert, 1); err != nil {
+			t.Errorf("provider %s rejects cert: %v", pid, err)
+		}
+	}
+	// Errors.
+	if err := n.Associate("ghost", 0); err == nil {
+		t.Error("unknown user should fail")
+	}
+	n2, _ := NewNetwork(threeProviderConfig(t))
+	n2.AddUser("bob", "acme", geo.LatLon{})
+	if err := n2.Associate("bob", 0); err == nil {
+		t.Error("associate before BuildTopology should fail")
+	}
+}
+
+func TestSendEndToEnd(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 2_000_000_000 // 2 GB
+	d, err := n.Send("alice", "gs-nairobi", bytes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path endpoints.
+	nodes := d.Path.Nodes
+	if nodes[0] != "alice" || nodes[len(nodes)-1] != "gs-nairobi" {
+		t.Fatalf("path endpoints: %v", nodes)
+	}
+	// Latency is plausible: Pittsburgh→Nairobi ≥ 11,800 km surface.
+	if d.LatencyS < 0.035 || d.LatencyS > 1 {
+		t.Errorf("latency %v s implausible", d.LatencyS)
+	}
+	if len(d.HopOwners) != d.Path.Hops {
+		t.Errorf("hop owners %d for %d hops", len(d.HopOwners), d.Path.Hops)
+	}
+	// Gateway fee: gs-nairobi belongs to orbitco; alice is an acme user →
+	// visitor pricing (base 0.08, idle so no surge) for 2 GB.
+	if d.GatewayFeeUSD != 0.16 {
+		t.Errorf("gateway fee %v, want 0.16", d.GatewayFeeUSD)
+	}
+	// The station metered acme's traffic.
+	st, _ := n.station("gs-nairobi")
+	if got := st.Usage()["acme"]; got != bytes {
+		t.Errorf("metered %d, want %d", got, bytes)
+	}
+	// Every carrier's ledger and the home ledger agree (cross-verifiable).
+	acme := n.Provider("acme").Ledger
+	for _, pid := range n.Providers()[1:] {
+		if ds := economics.CrossVerify(acme, n.Provider(pid).Ledger); len(ds) != 0 {
+			t.Errorf("ledgers disagree acme vs %s: %v", pid, ds)
+		}
+	}
+	// Cross-owner hops must exist with 3 interleaved providers, and
+	// carriage must be charged.
+	if d.CrossOwnerHops == 0 || d.CarriageUSD <= 0 {
+		t.Errorf("no cross-provider carriage: %+v", d)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	n := builtNetwork(t)
+	if _, err := n.Send("alice", "gs-nairobi", 100, 0); err == nil ||
+		!strings.Contains(err.Error(), "not associated") {
+		t.Errorf("unassociated send: %v", err)
+	}
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("alice", "gs-nairobi", 0, 0); err == nil {
+		t.Error("zero bytes should fail")
+	}
+	if _, err := n.Send("ghost", "gs-nairobi", 1, 0); err == nil {
+		t.Error("unknown user should fail")
+	}
+	if _, err := n.Send("alice", "gs-ghost", 1, 0); err == nil {
+		t.Error("unknown station should fail")
+	}
+}
+
+func TestPathProvidersMeshed(t *testing.T) {
+	n := builtNetwork(t)
+	provs, err := n.PathProviders("alice", "gs-nairobi", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(provs) < 2 {
+		t.Errorf("interleaved fleets should mesh providers; got %v", provs)
+	}
+}
+
+func TestFederationGain(t *testing.T) {
+	n := builtNetwork(t)
+	g, err := n.FederationGain(0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Solo) != 3 {
+		t.Fatalf("solo map = %v", g.Solo)
+	}
+	// 22 satellites each cover real area but far less than the union.
+	for pid, f := range g.Solo {
+		if f <= 0 || f >= g.Union {
+			t.Errorf("provider %s solo coverage %v vs union %v", pid, f, g.Union)
+		}
+	}
+	if g.Union < 0.95 {
+		t.Errorf("federated Iridium union coverage %v, want ≥0.95", g.Union)
+	}
+	if g.BestSolo >= g.Union {
+		t.Errorf("best solo %v should trail union %v", g.BestSolo, g.Union)
+	}
+	// Unknown provider errors.
+	if _, err := n.CoverageFraction(0, []string{"ghost"}, 100); err == nil {
+		t.Error("unknown provider should fail")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	n := builtNetwork(t)
+	stats := n.Connectivity(0)
+	if stats.Pairs != 2 { // alice × 2 stations
+		t.Fatalf("pairs = %d", stats.Pairs)
+	}
+	if stats.Reachable != 2 || stats.Fraction() != 1 {
+		t.Errorf("full Iridium should connect everything: %+v", stats)
+	}
+	// Before topology: zero stats.
+	n2, _ := NewNetwork(threeProviderConfig(t))
+	if s := n2.Connectivity(0); s.Pairs != 0 || s.Fraction() != 0 {
+		t.Errorf("pre-topology connectivity = %+v", s)
+	}
+}
+
+// proofFor wraps auth.Proof for the federation trust test.
+func proofFor(secret []byte, clientNonce, serverNonce uint64) []byte {
+	return auth.Proof(secret, clientNonce, serverNonce)
+}
+
+func TestSendProducesVerifiableReceipts(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.Send("alice", "gs-nairobi", 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Receipts) != len(d.HopOwners) {
+		t.Fatalf("receipts %d vs hops %d", len(d.Receipts), len(d.HopOwners))
+	}
+	keys := n.PublicKeys()
+	if err := economics.VerifyChain(d.Receipts, keys); err != nil {
+		t.Fatalf("receipt chain invalid: %v", err)
+	}
+	// A tampered receipt is detected.
+	forged := append([]economics.Receipt(nil), d.Receipts...)
+	forged[0].Bytes = 999999
+	if err := economics.VerifyChain(forged, keys); err == nil {
+		t.Error("tampered receipt chain accepted")
+	}
+	// The chain applied to a fresh auditor ledger agrees with the home
+	// ISP's own books for this flow's carriers.
+	audit := economics.NewLedger("acme")
+	if err := economics.ApplyChain(audit, d.Receipts, keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range d.HopOwners {
+		if owner == "acme" {
+			continue
+		}
+		if audit.Carried(owner, "acme") == 0 {
+			t.Errorf("auditor ledger missing carriage by %s", owner)
+		}
+	}
+	// Flow IDs increment.
+	d2, err := n.Send("alice", "gs-nairobi", 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.FlowID != d.FlowID+1 {
+		t.Errorf("flow IDs: %d then %d", d.FlowID, d2.FlowID)
+	}
+}
+
+func TestMoveUserForcesReassociation(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MoveUser("alice", geo.LatLon{Lat: -33.87, Lon: 151.21}); err != nil {
+		t.Fatal(err)
+	}
+	// Association and certificate dropped; topology invalidated.
+	if n.User("alice").Terminal.State() == assoc.StateAssociated {
+		t.Error("relocation must drop association")
+	}
+	if n.User("alice").Terminal.Certificate() != nil {
+		t.Error("relocation must drop certificate")
+	}
+	if _, err := n.Send("alice", "gs-nairobi", 1, 0); err == nil {
+		t.Error("send after move without rebuild should fail")
+	}
+	// Rebuild, re-associate, send again — the full §2.2 cycle.
+	if err := n.BuildTopology(0, 300, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("alice", "gs-nairobi", 1000, 0); err != nil {
+		t.Errorf("send after re-association: %v", err)
+	}
+	// Unknown user and invalid position.
+	if err := n.MoveUser("ghost", geo.LatLon{}); err == nil {
+		t.Error("unknown user should fail")
+	}
+	if err := n.MoveUser("alice", geo.LatLon{Lat: 99}); err == nil {
+		t.Error("invalid position should fail")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/assoc"
+	"github.com/openspace-project/openspace/internal/handover"
+)
+
+// HandoverPlan is the outcome of planning a user's next handover.
+type HandoverPlan struct {
+	Serving           string
+	SuccessorID       string
+	SuccessorProvider string
+	SetTimeS          float64 // when the serving satellite drops below the mask
+	CrossProvider     bool
+}
+
+// PlanHandover computes the user's next handover from public orbital
+// knowledge (§2.2): when the serving satellite will set, and which
+// satellite should take over. horizonS bounds the search.
+func (n *Network) PlanHandover(userID string, t, horizonS float64) (*HandoverPlan, error) {
+	u, ok := n.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", userID)
+	}
+	if u.Terminal.State() != assoc.StateAssociated {
+		return nil, errors.New("core: user not associated")
+	}
+	serving, _ := u.Terminal.Serving()
+
+	pred, err := n.predictorFor(u)
+	if err != nil {
+		return nil, err
+	}
+	setTime := pred.VisibleUntil(serving, t, horizonS)
+	if setTime >= t+horizonS {
+		return nil, fmt.Errorf("core: %s stays visible beyond the horizon", serving)
+	}
+	succ, found := pred.PickSuccessor(serving, setTime, horizonS)
+	if !found {
+		return nil, fmt.Errorf("core: no successor visible at t=%.1f (coverage gap)", setTime)
+	}
+	return &HandoverPlan{
+		Serving:           serving,
+		SuccessorID:       succ.ID,
+		SuccessorProvider: succ.Provider,
+		SetTimeS:          setTime,
+		CrossProvider:     succ.Provider != n.providerOfSatellite(serving),
+	}, nil
+}
+
+// ExecuteHandover switches the user to the planned successor without
+// re-authentication — the certificate from association keeps vouching.
+func (n *Network) ExecuteHandover(userID string, plan *HandoverPlan) error {
+	u, ok := n.users[userID]
+	if !ok {
+		return fmt.Errorf("core: unknown user %q", userID)
+	}
+	if plan == nil {
+		return errors.New("core: nil handover plan")
+	}
+	return u.Terminal.SwitchTo(plan.SuccessorID, plan.SuccessorProvider)
+}
+
+// predictorFor builds a handover predictor over the whole federation's
+// fleet for the user's location.
+func (n *Network) predictorFor(u *User) (*handover.Predictor, error) {
+	var sats []handover.Sat
+	for _, pid := range n.Providers() {
+		p := n.providers[pid]
+		for _, s := range p.Satellites {
+			sats = append(sats, handover.Sat{ID: s.ID, Provider: pid, Elements: s.Elements})
+		}
+	}
+	return handover.NewPredictor(sats, u.Pos, n.cfg.Topo.MinElevationDeg)
+}
+
+// providerOfSatellite returns the owner of a satellite ID, or "".
+func (n *Network) providerOfSatellite(id string) string {
+	for _, pid := range n.Providers() {
+		for _, s := range n.providers[pid].Satellites {
+			if s.ID == id {
+				return pid
+			}
+		}
+	}
+	return ""
+}
+
+// GatewayChoice scores one candidate station for a transfer.
+type GatewayChoice struct {
+	StationID    string
+	Provider     string
+	PathLatencyS float64
+	QueueDelayS  float64
+	CompletionS  float64 // path latency + queue + serialisation on backhaul
+	PricePerGB   float64
+}
+
+// RankGateways evaluates every reachable gateway for a transfer of the
+// given size at time t and returns choices ordered by predicted completion
+// time — the paper's §5(2) trade-off made concrete: "peak loads at certain
+// ground-stations may necessitate re-routing of traffic to a ground station
+// that is further away but is idle; in this case, a computation of the
+// trade-off between longer routing distance vs queuing and job completion
+// times is necessary at runtime".
+func (n *Network) RankGateways(userID string, bytes int64, t float64) ([]GatewayChoice, error) {
+	u, ok := n.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", userID)
+	}
+	if n.router == nil {
+		return nil, errors.New("core: BuildTopology must run before RankGateways")
+	}
+	var out []GatewayChoice
+	for _, pid := range n.Providers() {
+		p := n.providers[pid]
+		for sid, st := range p.Stations {
+			path, err := n.router.Route(t, userID, sid)
+			if err != nil {
+				continue
+			}
+			offer := st.Quote(u.HomeISP, t)
+			serialise := float64(bytes*8) / st.BackhaulBps
+			lat := path.DelayS + float64(path.Hops)*n.cfg.PerHopProcessingS
+			out = append(out, GatewayChoice{
+				StationID:    sid,
+				Provider:     pid,
+				PathLatencyS: lat,
+				QueueDelayS:  offer.QueueDelayS,
+				CompletionS:  lat + offer.QueueDelayS + serialise,
+				PricePerGB:   offer.PricePerGB,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("core: no reachable gateway")
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CompletionS != out[j].CompletionS {
+			return out[i].CompletionS < out[j].CompletionS
+		}
+		return out[i].StationID < out[j].StationID
+	})
+	return out, nil
+}
+
+// SendBest delivers to the gateway with the earliest predicted completion —
+// possibly a farther, idle station over a nearer, loaded one.
+func (n *Network) SendBest(userID string, bytes int64, t float64) (*Delivery, GatewayChoice, error) {
+	choices, err := n.RankGateways(userID, bytes, t)
+	if err != nil {
+		return nil, GatewayChoice{}, err
+	}
+	best := choices[0]
+	d, err := n.Send(userID, best.StationID, bytes, t)
+	if err != nil {
+		return nil, GatewayChoice{}, err
+	}
+	return d, best, nil
+}

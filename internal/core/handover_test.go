@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPlanAndExecuteHandover(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	cert := n.User("alice").Terminal.Certificate()
+
+	plan, err := n.PlanHandover("alice", 0, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving, _ := n.User("alice").Terminal.Serving()
+	if plan.Serving != serving {
+		t.Errorf("plan serving %s, terminal says %s", plan.Serving, serving)
+	}
+	if plan.SuccessorID == plan.Serving || plan.SuccessorID == "" {
+		t.Errorf("bad successor: %+v", plan)
+	}
+	if plan.SetTimeS <= 0 || plan.SetTimeS >= 3600 {
+		t.Errorf("set time %v outside horizon", plan.SetTimeS)
+	}
+	if plan.SuccessorProvider == "" {
+		t.Error("successor provider missing")
+	}
+
+	if err := n.ExecuteHandover("alice", plan); err != nil {
+		t.Fatal(err)
+	}
+	sat, prov := n.User("alice").Terminal.Serving()
+	if sat != plan.SuccessorID || prov != plan.SuccessorProvider {
+		t.Errorf("after handover serving %s/%s, want %s/%s",
+			sat, prov, plan.SuccessorID, plan.SuccessorProvider)
+	}
+	// No re-authentication: the certificate is untouched.
+	if n.User("alice").Terminal.Certificate() != cert {
+		t.Error("handover must not disturb the roaming certificate")
+	}
+}
+
+func TestHandoverErrors(t *testing.T) {
+	n := builtNetwork(t)
+	if _, err := n.PlanHandover("ghost", 0, 3600); err == nil {
+		t.Error("unknown user should fail")
+	}
+	// Unassociated user.
+	if _, err := n.PlanHandover("alice", 0, 3600); err == nil {
+		t.Error("unassociated user should fail")
+	}
+	if err := n.ExecuteHandover("ghost", &HandoverPlan{}); err == nil {
+		t.Error("unknown user execute should fail")
+	}
+	if err := n.ExecuteHandover("alice", nil); err == nil {
+		t.Error("nil plan should fail")
+	}
+}
+
+func TestRankGatewaysPrefersIdle(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	const mb100 = int64(100_000_000)
+	base, err := n.RankGateways("alice", mb100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 { // gs-seattle, gs-nairobi
+		t.Fatalf("choices = %+v", base)
+	}
+	// Completion ordering holds.
+	if base[0].CompletionS > base[1].CompletionS {
+		t.Error("choices not sorted by completion")
+	}
+	best := base[0]
+
+	// Pile enormous home-class backlog onto the currently best station
+	// (home traffic delays every class); ranking must flip to the other
+	// one (the §5(2) trade-off).
+	st, owner := n.station(best.StationID)
+	if _, err := st.Admit(owner.ID, 40_000_000_000, 0); err != nil { // 320 Gb ≈ 32 s backlog
+		t.Fatal(err)
+	}
+	after, err := n.RankGateways("alice", mb100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].StationID == best.StationID {
+		t.Errorf("ranking did not react to load: %+v", after)
+	}
+	if after[0].QueueDelayS > after[1].QueueDelayS {
+		t.Error("winner should be the idle station")
+	}
+}
+
+func TestSendBestDelivers(t *testing.T) {
+	n := builtNetwork(t)
+	if err := n.Associate("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	d, choice, err := n.SendBest("alice", 1_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Path.Nodes[len(d.Path.Nodes)-1] != choice.StationID {
+		t.Errorf("delivered to %s, chose %s",
+			d.Path.Nodes[len(d.Path.Nodes)-1], choice.StationID)
+	}
+	if _, _, err := n.SendBest("ghost", 1, 0); err == nil {
+		t.Error("unknown user should fail")
+	}
+}

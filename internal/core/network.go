@@ -1,0 +1,325 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/assoc"
+	"github.com/openspace-project/openspace/internal/auth"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/frame"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/ground"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// Provider is one federation member at run time.
+type Provider struct {
+	ID            string
+	CarriagePerGB float64
+	Auth          *auth.Authenticator
+	Trust         *auth.TrustStore
+	Ledger        *economics.Ledger
+	Stations      map[string]*ground.Station
+	Satellites    []SatelliteConfig
+}
+
+// User is one subscriber terminal at run time.
+type User struct {
+	ID       string
+	HomeISP  string
+	Pos      geo.LatLon
+	Terminal *assoc.Terminal
+}
+
+// Network is an assembled OpenSpace federation.
+type Network struct {
+	cfg       NetworkConfig
+	providers map[string]*Provider
+	users     map[string]*User
+	rng       *rand.Rand
+
+	te      *topo.TimeExpanded
+	router  *routing.ProactiveRouter
+	flowSeq uint64
+}
+
+// NewNetwork federates the configured providers: every provider gets an
+// authentication server, a ledger and its ground stations, and all
+// providers exchange certificate trust anchors (the out-of-band onboarding
+// step of joining OpenSpace).
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := &Network{
+		cfg:       cfg,
+		providers: make(map[string]*Provider),
+		users:     make(map[string]*User),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, pc := range cfg.Providers {
+		a, err := auth.NewAuthenticator(pc.ID, cfg.CertTTLS, n.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: provider %q: %w", pc.ID, err)
+		}
+		p := &Provider{
+			ID:            pc.ID,
+			CarriagePerGB: pc.CarriagePerGB,
+			Auth:          a,
+			Trust:         auth.NewTrustStore(),
+			Ledger:        economics.NewLedger(pc.ID),
+			Stations:      make(map[string]*ground.Station),
+			Satellites:    pc.Satellites,
+		}
+		for _, gc := range pc.GroundStations {
+			st, err := ground.NewStation(gc.ID, pc.ID, gc.Pos, gc.BackhaulBps, gc.PricePerGB, gc.VisitorSurge)
+			if err != nil {
+				return nil, fmt.Errorf("core: station %q: %w", gc.ID, err)
+			}
+			p.Stations[gc.ID] = st
+		}
+		n.providers[pc.ID] = p
+	}
+	// Trust anchor exchange: everyone trusts everyone's certificates.
+	for _, p := range n.providers {
+		for _, q := range n.providers {
+			p.Trust.Add(q.ID, q.Auth.PublicKey())
+		}
+	}
+	return n, nil
+}
+
+// Provider returns a member by ID, or nil.
+func (n *Network) Provider(id string) *Provider { return n.providers[id] }
+
+// Providers returns member IDs in sorted order.
+func (n *Network) Providers() []string {
+	ids := make([]string, 0, len(n.providers))
+	for id := range n.providers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// AddUser enrolls a subscriber with their home ISP and creates the terminal.
+func (n *Network) AddUser(userID, homeISP string, pos geo.LatLon) (*User, error) {
+	p, ok := n.providers[homeISP]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown home ISP %q", homeISP)
+	}
+	if _, exists := n.users[userID]; exists {
+		return nil, fmt.Errorf("core: duplicate user %q", userID)
+	}
+	secret := make([]byte, 32)
+	if _, err := n.rng.Read(secret); err != nil {
+		return nil, fmt.Errorf("core: generating secret: %w", err)
+	}
+	if err := p.Auth.Enroll(userID, secret); err != nil {
+		return nil, err
+	}
+	term, err := assoc.NewTerminal(userID, homeISP, secret, pos, n.cfg.Topo.MinElevationDeg)
+	if err != nil {
+		return nil, err
+	}
+	u := &User{ID: userID, HomeISP: homeISP, Pos: pos, Terminal: term}
+	n.users[userID] = u
+	return u, nil
+}
+
+// User returns a subscriber by ID, or nil.
+func (n *Network) User(id string) *User { return n.users[id] }
+
+// satSpecs flattens all providers' fleets into topology inputs,
+// deterministically ordered.
+func (n *Network) satSpecs() []topo.SatSpec {
+	var specs []topo.SatSpec
+	for _, pid := range n.Providers() {
+		p := n.providers[pid]
+		for _, s := range p.Satellites {
+			specs = append(specs, topo.SatSpec{
+				ID:       s.ID,
+				Provider: p.ID,
+				Elements: s.Elements,
+				HasLaser: s.HasLaser,
+				MaxISLs:  s.MaxISLs,
+			})
+		}
+	}
+	return specs
+}
+
+func (n *Network) groundSpecs() []topo.GroundSpec {
+	var specs []topo.GroundSpec
+	for _, pid := range n.Providers() {
+		p := n.providers[pid]
+		ids := make([]string, 0, len(p.Stations))
+		for id := range p.Stations {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			specs = append(specs, topo.GroundSpec{ID: id, Provider: p.ID, Pos: p.Stations[id].Pos})
+		}
+	}
+	return specs
+}
+
+func (n *Network) userSpecs() []topo.UserSpec {
+	ids := make([]string, 0, len(n.users))
+	for id := range n.users {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	specs := make([]topo.UserSpec, len(ids))
+	for i, id := range ids {
+		u := n.users[id]
+		specs[i] = topo.UserSpec{ID: id, Provider: u.HomeISP, Pos: u.Pos}
+	}
+	return specs
+}
+
+// BuildTopology precomputes the shared public topology over
+// [startS, startS+horizonS] at the given snapshot cadence and installs the
+// proactive router. Must be called after all users are added and before
+// Associate/Send.
+func (n *Network) BuildTopology(startS, horizonS, intervalS float64) error {
+	te, err := topo.BuildTimeExpanded(startS, horizonS, intervalS, n.cfg.Topo,
+		n.satSpecs(), n.groundSpecs(), n.userSpecs())
+	if err != nil {
+		return err
+	}
+	n.te = te
+	n.router = routing.NewProactiveRouter(te, routing.LatencyCost(n.cfg.PerHopProcessingS))
+	return nil
+}
+
+// Topology returns the built time-expanded topology, nil before
+// BuildTopology.
+func (n *Network) Topology() *topo.TimeExpanded { return n.te }
+
+// Associate runs the full association for a user at time t: beacon scan
+// over the satellites visible in the current snapshot, selection of the
+// closest, and the RADIUS exchange with the user's home ISP, which issues
+// the roaming certificate. The serving provider verifies the certificate
+// against its trust store before traffic flows.
+func (n *Network) Associate(userID string, t float64) error {
+	u, ok := n.users[userID]
+	if !ok {
+		return fmt.Errorf("core: unknown user %q", userID)
+	}
+	if n.te == nil {
+		return errors.New("core: BuildTopology must run before Associate")
+	}
+	home := n.providers[u.HomeISP]
+
+	// Beacon scan: every satellite with an access edge to the user in the
+	// current snapshot is audible.
+	snap := n.te.At(t)
+	u.Terminal.StartScan()
+	for _, e := range snap.Neighbors(userID) {
+		sat := snap.Node(e.To)
+		if sat == nil || sat.Kind != topo.KindSatellite {
+			continue
+		}
+		sc := n.satConfig(e.To)
+		if sc == nil {
+			continue
+		}
+		caps := frame.CapRF
+		if sc.HasLaser {
+			caps |= frame.CapLaser
+		}
+		u.Terminal.OnBeacon(&frame.Beacon{
+			SatelliteID: sat.ID,
+			ProviderID:  sat.Provider,
+			Caps:        caps,
+			Orbit: frame.OrbitalState{
+				SemiMajorAxisKm: sc.Elements.SemiMajorAxisKm,
+				Eccentricity:    sc.Elements.Eccentricity,
+				InclinationDeg:  sc.Elements.InclinationDeg,
+				RAANDeg:         sc.Elements.RAANDeg,
+				ArgPerigeeDeg:   sc.Elements.ArgPerigeeDeg,
+				MeanAnomalyDeg:  sc.Elements.MeanAnomalyDeg,
+			},
+			SentAtS: t,
+		})
+	}
+
+	req, err := u.Terminal.SelectAndRequestAuth(t, n.rng.Uint64())
+	if err != nil {
+		return fmt.Errorf("core: user %q association: %w", userID, err)
+	}
+	nonce, err := home.Auth.Challenge(req.UserID)
+	if err != nil {
+		return err
+	}
+	resp, err := u.Terminal.OnChallenge(&frame.AuthChallenge{UserID: req.UserID, ServerNonce: nonce})
+	if err != nil {
+		return err
+	}
+	cert, err := home.Auth.VerifyProof(req.UserID, req.ClientNonce, resp.Proof, t)
+	if err != nil {
+		u.Terminal.OnResult(&frame.AuthResult{UserID: req.UserID, Success: false, Reason: err.Error()})
+		return fmt.Errorf("core: user %q auth: %w", userID, err)
+	}
+	if err := u.Terminal.OnResult(&frame.AuthResult{
+		UserID: req.UserID, Success: true, Certificate: cert.Marshal(),
+	}); err != nil {
+		return err
+	}
+	// The serving provider independently verifies the roaming certificate.
+	_, servingProvider := u.Terminal.Serving()
+	if sp := n.providers[servingProvider]; sp != nil {
+		if err := sp.Trust.Verify(cert, t); err != nil {
+			return fmt.Errorf("core: serving provider rejected certificate: %w", err)
+		}
+	}
+	return nil
+}
+
+// satConfig finds a satellite's configuration by ID.
+func (n *Network) satConfig(id string) *SatelliteConfig {
+	for _, p := range n.providers {
+		for i := range p.Satellites {
+			if p.Satellites[i].ID == id {
+				return &p.Satellites[i]
+			}
+		}
+	}
+	return nil
+}
+
+// station finds a ground station and its owner by ID.
+func (n *Network) station(id string) (*ground.Station, *Provider) {
+	for _, p := range n.providers {
+		if st, ok := p.Stations[id]; ok {
+			return st, p
+		}
+	}
+	return nil, nil
+}
+
+// MoveUser relocates a subscriber. Per §2.2, changing physical region
+// drops the association and certificate: "they will have to go through the
+// initial association and authentication process again". The topology must
+// be rebuilt (the user's access links moved) before re-associating.
+func (n *Network) MoveUser(userID string, pos geo.LatLon) error {
+	u, ok := n.users[userID]
+	if !ok {
+		return fmt.Errorf("core: unknown user %q", userID)
+	}
+	if err := u.Terminal.MovedTo(pos); err != nil {
+		return err
+	}
+	u.Pos = pos
+	// Invalidate precomputed topology: access edges are stale.
+	n.te = nil
+	n.router = nil
+	return nil
+}

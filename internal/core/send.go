@@ -1,0 +1,181 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/assoc"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// Delivery reports one end-to-end transfer.
+type Delivery struct {
+	FlowID         uint64
+	Path           routing.Path
+	HopOwners      []string // owning provider of each traversed node after the user
+	LatencyS       float64  // propagation + per-hop processing + gateway queue
+	GatewayFeeUSD  float64
+	CarriageUSD    float64 // cross-provider carriage charges (§3 accounting)
+	CrossOwnerHops int
+	// Receipts is the signed per-hop carriage chain: each carrier's
+	// non-repudiable acknowledgment, verifiable against the keys providers
+	// exchanged at onboarding (economics.VerifyChain).
+	Receipts []economics.Receipt
+}
+
+// Send routes bytes from an associated user to a gateway ground station at
+// time t, accounting the transfer in every involved provider's ledger and
+// the gateway's meter, and returns the delivery report.
+//
+// This is Figure 1 end to end: access link to the serving satellite, ISLs
+// across (possibly several) providers, downlink to an independently owned
+// gateway, with §3's accounting on every cross-owner hop.
+func (n *Network) Send(userID, stationID string, bytes int64, t float64) (*Delivery, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("core: bytes %d must be positive", bytes)
+	}
+	u, ok := n.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", userID)
+	}
+	if u.Terminal.State() != assoc.StateAssociated {
+		return nil, fmt.Errorf("core: user %q not associated (state %v)", userID, u.Terminal.State())
+	}
+	st, stOwner := n.station(stationID)
+	if st == nil {
+		return nil, fmt.Errorf("core: unknown ground station %q", stationID)
+	}
+	if n.router == nil {
+		return nil, errors.New("core: BuildTopology must run before Send")
+	}
+
+	path, err := n.router.Route(t, userID, stationID)
+	if err != nil {
+		return nil, fmt.Errorf("core: routing %s → %s: %w", userID, stationID, err)
+	}
+	snap := n.te.At(t)
+
+	// Hop ownership: every traversed node after the user attributes its
+	// owner; that is the infrastructure that carried the traffic.
+	owners := make([]string, 0, len(path.Nodes)-1)
+	for _, node := range path.Nodes[1:] {
+		nd := snap.Node(node)
+		if nd == nil {
+			return nil, fmt.Errorf("core: path node %q missing from snapshot", node)
+		}
+		owners = append(owners, nd.Provider)
+	}
+
+	// §3: "the volume of traffic along this path is tracked by all parties
+	// involved" — the home ISP and every carrier record independently.
+	involved := map[string]bool{u.HomeISP: true}
+	for _, o := range owners {
+		involved[o] = true
+	}
+	for pid := range involved {
+		if p := n.providers[pid]; p != nil {
+			if err := p.Ledger.RecordPath(u.HomeISP, owners, bytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Gateway metering and pricing.
+	offer, err := st.Admit(u.HomeISP, bytes, t)
+	if err != nil {
+		return nil, err
+	}
+
+	n.flowSeq++
+	d := &Delivery{
+		FlowID:        n.flowSeq,
+		Path:          path,
+		HopOwners:     owners,
+		LatencyS:      path.DelayS + float64(path.Hops)*n.cfg.PerHopProcessingS + offer.QueueDelayS,
+		GatewayFeeUSD: float64(bytes) / 1e9 * offer.PricePerGB,
+	}
+	// Carriage charges: every hop owned by neither the home ISP nor the
+	// gateway owner's free tier — priced at the carrier's flat rate.
+	gb := float64(bytes) / 1e9
+	for _, o := range owners {
+		if o == u.HomeISP {
+			continue
+		}
+		d.CrossOwnerHops++
+		if p := n.providers[o]; p != nil {
+			d.CarriageUSD += gb * p.CarriagePerGB
+		}
+	}
+	// Every hop's carrier signs a receipt for the carriage chain.
+	for i, o := range owners {
+		r := economics.Receipt{
+			Carrier: o, Customer: u.HomeISP,
+			FlowID: d.FlowID, HopIndex: i, Bytes: bytes, AtS: t,
+		}
+		if p := n.providers[o]; p != nil {
+			r.SignWith(p.Auth.Sign)
+		}
+		d.Receipts = append(d.Receipts, r)
+	}
+	_ = stOwner
+	return d, nil
+}
+
+// PublicKeys returns every member's receipt/report/certificate
+// verification key — the trust anchors exchanged at onboarding.
+func (n *Network) PublicKeys() map[string]ed25519.PublicKey {
+	keys := make(map[string]ed25519.PublicKey, len(n.providers))
+	for id, p := range n.providers {
+		keys[id] = p.Auth.PublicKey()
+	}
+	return keys
+}
+
+// Reachable reports whether a path exists from the user to the station at
+// time t under the current topology.
+func (n *Network) Reachable(userID, stationID string, t float64) bool {
+	if n.router == nil {
+		return false
+	}
+	_, err := n.router.Route(t, userID, stationID)
+	return err == nil
+}
+
+// PathProviders returns the distinct providers a route traverses at t,
+// in first-traversal order — how "meshed" a delivery is (§3's argument for
+// why BGP's provider/customer split does not map onto OpenSpace).
+func (n *Network) PathProviders(userID, stationID string, t float64) ([]string, error) {
+	if n.router == nil {
+		return nil, errors.New("core: BuildTopology must run first")
+	}
+	path, err := n.router.Route(t, userID, stationID)
+	if err != nil {
+		return nil, err
+	}
+	snap := n.te.At(t)
+	var order []string
+	seen := map[string]bool{}
+	for _, node := range path.Nodes[1:] {
+		nd := snap.Node(node)
+		if nd == nil {
+			continue
+		}
+		if !seen[nd.Provider] {
+			seen[nd.Provider] = true
+			order = append(order, nd.Provider)
+		}
+	}
+	return order, nil
+}
+
+// snapshotAt exposes the snapshot in force at t (nil before BuildTopology),
+// for analysis helpers.
+func (n *Network) snapshotAt(t float64) *topo.Snapshot {
+	if n.te == nil {
+		return nil
+	}
+	return n.te.At(t)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+)
+
+func scenarioNetwork(t *testing.T) *Network {
+	t.Helper()
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pos := range []geo.LatLon{
+		{Lat: 40.44, Lon: -79.99},
+		{Lat: -1.29, Lon: 36.82},
+		{Lat: 51.51, Lon: -0.13},
+	} {
+		isp := []string{"acme", "orbitco", "skynet"}[i]
+		if _, err := n.AddUser(userName(i), isp, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func userName(i int) string { return string(rune('a'+i)) + "-user" }
+
+func TestScenarioValidate(t *testing.T) {
+	good := Scenario{DurationS: 100, SnapshotIntervalS: 10, PerUserRate: 0.1, MinBytes: 1, MaxBytes: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good scenario rejected: %v", err)
+	}
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.DurationS = 0 },
+		func(s *Scenario) { s.SnapshotIntervalS = 0 },
+		func(s *Scenario) { s.PerUserRate = 0 },
+		func(s *Scenario) { s.MinBytes = 0 },
+		func(s *Scenario) { s.MaxBytes = 0 },
+	}
+	for i, mutate := range cases {
+		sc := good
+		mutate(&sc)
+		if sc.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	n := scenarioNetwork(t)
+	sc := Scenario{
+		DurationS:         900,
+		SnapshotIntervalS: 60,
+		PerUserRate:       0.05, // ~45 transfers per user over 15 min
+		MinBytes:          1_000_000,
+		MaxBytes:          100_000_000,
+		Seed:              9,
+	}
+	res, err := n.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransfersAttempted == 0 {
+		t.Fatal("no transfers attempted")
+	}
+	// Full Iridium: essentially everything should deliver.
+	if res.DeliveryRate() < 0.9 {
+		t.Errorf("delivery rate %v", res.DeliveryRate())
+	}
+	if res.LatencyS.Count() != res.TransfersDelivered {
+		t.Errorf("latency samples %d vs delivered %d", res.LatencyS.Count(), res.TransfersDelivered)
+	}
+	if res.LatencyS.Mean() <= 0 || res.LatencyS.Mean() > 2 {
+		t.Errorf("mean latency %v s implausible", res.LatencyS.Mean())
+	}
+	// 15 minutes of LEO must force handovers for someone.
+	if res.Handovers == 0 {
+		t.Error("no handovers in 15 minutes of LEO motion")
+	}
+	if res.CarriageUSD <= 0 || res.GatewayUSD <= 0 {
+		t.Errorf("fees not accumulated: carriage %v gateway %v", res.CarriageUSD, res.GatewayUSD)
+	}
+	if res.EventsProcessed == 0 {
+		t.Error("engine processed nothing")
+	}
+}
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	sc := Scenario{
+		DurationS: 300, SnapshotIntervalS: 60,
+		PerUserRate: 0.05, MinBytes: 1000, MaxBytes: 1_000_000, Seed: 4,
+	}
+	a, err := scenarioNetwork(t).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenarioNetwork(t).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TransfersAttempted != b.TransfersAttempted ||
+		a.TransfersDelivered != b.TransfersDelivered ||
+		a.BytesDelivered != b.BytesDelivered ||
+		a.Handovers != b.Handovers {
+		t.Errorf("scenario not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	n := scenarioNetwork(t)
+	if _, err := n.RunScenario(Scenario{}); err == nil {
+		t.Error("invalid scenario should fail")
+	}
+	empty, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{DurationS: 10, SnapshotIntervalS: 5, PerUserRate: 1, MinBytes: 1, MaxBytes: 2}
+	if _, err := empty.RunScenario(sc); err == nil {
+		t.Error("scenario without users should fail")
+	}
+}

@@ -1,0 +1,128 @@
+package economics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CapexModel prices building, licensing and launching a satellite fleet —
+// the startup costs §3 wants minimised for small entrants. Reference
+// numbers come from the paper: the FCC's proposed small-satellite
+// regulatory fee of about $12,145 and the ~$500,000 laser terminal.
+type CapexModel struct {
+	BusUSD           float64 // spacecraft bus, integration and test
+	RFTerminalUSD    float64 // mandatory RF ISL terminal
+	LaserTerminalUSD float64 // optional optical terminal
+	LaserTerminalKg  float64 // its mass (drives launch cost)
+	LaunchPerKgUSD   float64 // rideshare launch price
+	BaseMassKg       float64 // bus + RF terminal mass
+	RegulatoryFeeUSD float64 // per-satellite licensing (FCC small-sat fee)
+	GroundStationUSD float64 // one gateway ground station, built out
+}
+
+// DefaultCapex returns the model with the paper's published figures and
+// representative smallsat industry numbers for the rest.
+func DefaultCapex() CapexModel {
+	return CapexModel{
+		BusUSD:           750_000,
+		RFTerminalUSD:    60_000,
+		LaserTerminalUSD: 500_000, // §2.1 reference terminal
+		LaserTerminalKg:  15,      // §2.1: "at least 15kg"
+		LaunchPerKgUSD:   6_000,   // rideshare class
+		BaseMassKg:       110,
+		RegulatoryFeeUSD: 12_145, // §3: FCC proposed small-satellite fee
+		GroundStationUSD: 1_200_000,
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m CapexModel) Validate() error {
+	if m.BusUSD < 0 || m.RFTerminalUSD < 0 || m.LaserTerminalUSD < 0 ||
+		m.LaunchPerKgUSD < 0 || m.RegulatoryFeeUSD < 0 || m.GroundStationUSD < 0 {
+		return errors.New("economics: capex prices must be non-negative")
+	}
+	if m.BaseMassKg <= 0 {
+		return errors.New("economics: base mass must be positive")
+	}
+	if m.LaserTerminalKg < 0 {
+		return errors.New("economics: laser mass must be non-negative")
+	}
+	return nil
+}
+
+// SatelliteUSD prices one satellite, with or without a laser terminal:
+// hardware + licensing + launch (mass-dependent).
+func (m CapexModel) SatelliteUSD(withLaser bool) float64 {
+	cost := m.BusUSD + m.RFTerminalUSD + m.RegulatoryFeeUSD
+	mass := m.BaseMassKg
+	if withLaser {
+		cost += m.LaserTerminalUSD
+		mass += m.LaserTerminalKg
+	}
+	return cost + mass*m.LaunchPerKgUSD
+}
+
+// FleetPlan describes a provider's buildout.
+type FleetPlan struct {
+	Satellites     int
+	LaserFraction  float64 // fraction of satellites carrying lasers, 0..1
+	GroundStations int
+}
+
+// Validate reports whether the plan is well-formed.
+func (p FleetPlan) Validate() error {
+	if p.Satellites < 0 || p.GroundStations < 0 {
+		return errors.New("economics: fleet counts must be non-negative")
+	}
+	if p.LaserFraction < 0 || p.LaserFraction > 1 {
+		return fmt.Errorf("economics: laser fraction %.2f outside [0,1]", p.LaserFraction)
+	}
+	return nil
+}
+
+// FleetUSD prices a buildout plan. The number of laser satellites is
+// rounded down — a conservative estimate for the cheaper RF-heavy mixes
+// small entrants favour.
+func (m CapexModel) FleetUSD(p FleetPlan) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	laser := int(float64(p.Satellites) * p.LaserFraction)
+	rfOnly := p.Satellites - laser
+	total := float64(laser)*m.SatelliteUSD(true) +
+		float64(rfOnly)*m.SatelliteUSD(false) +
+		float64(p.GroundStations)*m.GroundStationUSD
+	return total, nil
+}
+
+// EntryBarrierRatio compares a monolithic global deployment against a
+// collaborating small provider's share: the capital a firm needs to launch
+// globalFleet satellites alone, divided by the capital to launch its share
+// of a federated constellation of the same total size split across
+// nProviders. This quantifies the paper's core economic argument for
+// collaboration.
+func (m CapexModel) EntryBarrierRatio(globalFleet FleetPlan, nProviders int) (float64, error) {
+	if nProviders <= 0 {
+		return 0, errors.New("economics: providers must be positive")
+	}
+	full, err := m.FleetUSD(globalFleet)
+	if err != nil {
+		return 0, err
+	}
+	share := FleetPlan{
+		Satellites:     (globalFleet.Satellites + nProviders - 1) / nProviders,
+		LaserFraction:  globalFleet.LaserFraction,
+		GroundStations: (globalFleet.GroundStations + nProviders - 1) / nProviders,
+	}
+	part, err := m.FleetUSD(share)
+	if err != nil {
+		return 0, err
+	}
+	if part == 0 {
+		return 0, errors.New("economics: degenerate share cost")
+	}
+	return full / part, nil
+}

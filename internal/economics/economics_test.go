@@ -1,0 +1,259 @@
+package economics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordPathValidation(t *testing.T) {
+	l := NewLedger("acme")
+	if err := l.RecordPath("acme", []string{"rival"}, 0); err == nil {
+		t.Error("zero bytes should fail")
+	}
+	if err := l.RecordPath("", []string{"rival"}, 1); err == nil {
+		t.Error("empty home ISP should fail")
+	}
+}
+
+func TestRecordPathAccounting(t *testing.T) {
+	l := NewLedger("acme")
+	// A path for an acme user crossing rival twice and acme once.
+	if err := l.RecordPath("acme", []string{"acme", "rival", "rival", "third"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Carried("rival", "acme"); got != 200 {
+		t.Errorf("rival carried %d, want 200 (two hops)", got)
+	}
+	if got := l.Carried("third", "acme"); got != 100 {
+		t.Errorf("third carried %d, want 100", got)
+	}
+	// Home ISP's own hops are free.
+	if got := l.Carried("acme", "acme"); got != 0 {
+		t.Errorf("self-carriage recorded: %d", got)
+	}
+}
+
+func TestLedgerOnlyRecordsOwnBusiness(t *testing.T) {
+	l := NewLedger("acme")
+	// A flow between two other providers is not acme's business.
+	if err := l.RecordPath("rival", []string{"third", "third"}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Carried("third", "rival"); got != 0 {
+		t.Errorf("foreign flow recorded: %d", got)
+	}
+	// But a flow where acme is the carrier is.
+	if err := l.RecordPath("rival", []string{"acme"}, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Carried("acme", "rival"); got != 50 {
+		t.Errorf("own carriage missing: %d", got)
+	}
+}
+
+func TestCrossVerifyAgreement(t *testing.T) {
+	// Both parties observe the same transfer: ledgers agree.
+	a, b := NewLedger("acme"), NewLedger("rival")
+	path := []string{"acme", "rival", "rival"}
+	for _, l := range []*Ledger{a, b} {
+		if err := l.RecordPath("acme", path, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ds := CrossVerify(a, b); len(ds) != 0 {
+		t.Errorf("honest ledgers disagree: %v", ds)
+	}
+}
+
+func TestCrossVerifyCatchesFraud(t *testing.T) {
+	a, b := NewLedger("acme"), NewLedger("rival")
+	path := []string{"rival", "rival"}
+	a.RecordPath("acme", path, 1000)
+	b.RecordPath("acme", path, 1000)
+	// rival inflates its claim with a phantom transfer.
+	b.RecordPath("acme", []string{"rival"}, 500)
+	ds := CrossVerify(a, b)
+	if len(ds) != 1 {
+		t.Fatalf("discrepancies = %v, want exactly 1", ds)
+	}
+	d := ds[0]
+	if d.Flow.Carrier != "rival" || d.Flow.Customer != "acme" {
+		t.Errorf("wrong flow flagged: %+v", d)
+	}
+	if d.A != 2000 || d.B != 2500 {
+		t.Errorf("claimed volumes %d vs %d, want 2000 vs 2500", d.A, d.B)
+	}
+	if d.String() == "" {
+		t.Error("discrepancy should render")
+	}
+}
+
+func TestCrossVerifyIgnoresThirdParties(t *testing.T) {
+	// acme's dealings with third are not checkable against rival's ledger.
+	a, b := NewLedger("acme"), NewLedger("rival")
+	a.RecordPath("acme", []string{"third"}, 777)
+	if ds := CrossVerify(a, b); len(ds) != 0 {
+		t.Errorf("third-party flow flagged: %v", ds)
+	}
+}
+
+func TestCrossVerifySymmetricProperty(t *testing.T) {
+	f := func(volumes []uint16) bool {
+		a, b := NewLedger("A"), NewLedger("B")
+		for i, v := range volumes {
+			if v == 0 {
+				continue
+			}
+			home, carrier := "A", "B"
+			if i%2 == 0 {
+				home, carrier = "B", "A"
+			}
+			a.RecordPath(home, []string{carrier}, int64(v))
+			if i%3 != 0 { // b occasionally misses a record
+				b.RecordPath(home, []string{carrier}, int64(v))
+			}
+		}
+		da := CrossVerify(a, b)
+		db := CrossVerify(b, a)
+		if len(da) != len(db) {
+			return false
+		}
+		for i := range da {
+			if da[i].Flow != db[i].Flow || da[i].A != db[i].B || da[i].B != db[i].A {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettleAndBalances(t *testing.T) {
+	l := NewLedger("acme")
+	l.RecordPath("acme", []string{"rival"}, 2e9)         // rival carried 2 GB for acme
+	l.RecordPath("rival", []string{"acme", "acme"}, 1e9) // acme carried 2 GB for rival
+
+	rates := RateCard{
+		PerGB:   map[Flow]float64{{Carrier: "rival", Customer: "acme"}: 0.50},
+		Default: 0.20,
+	}
+	inv := Settle(l, rates)
+	if len(inv) != 2 {
+		t.Fatalf("invoices = %v", inv)
+	}
+	total := map[Flow]float64{}
+	for _, i := range inv {
+		total[i.Flow] = i.AmountUSD
+	}
+	if got := total[Flow{Carrier: "rival", Customer: "acme"}]; !close2(got, 1.00) {
+		t.Errorf("rival→acme invoice %v, want 1.00 (2 GB @ 0.50)", got)
+	}
+	if got := total[Flow{Carrier: "acme", Customer: "rival"}]; !close2(got, 0.40) {
+		t.Errorf("acme→rival invoice %v, want 0.40 (2 GB @ default 0.20)", got)
+	}
+	bal := NetBalances(inv)
+	if !close2(bal["rival"], 1.00-0.40) || !close2(bal["acme"], 0.40-1.00) {
+		t.Errorf("balances = %v", bal)
+	}
+	if !close2(bal["acme"]+bal["rival"], 0) {
+		t.Errorf("balances do not sum to zero: %v", bal)
+	}
+}
+
+func TestPeeringCandidates(t *testing.T) {
+	l := NewLedger("acme")
+	// Symmetric heavy pair acme↔rival; asymmetric pair acme↔third.
+	l.RecordPath("acme", []string{"rival"}, 10e9)
+	l.RecordPath("rival", []string{"acme"}, 9e9)
+	l.RecordPath("acme", []string{"third"}, 10e9)
+	l.RecordPath("third", []string{"acme"}, 1e9)
+
+	cands := PeeringCandidates(l, 1e8, 0.7)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %v, want exactly the symmetric pair", cands)
+	}
+	c := cands[0]
+	if c.A != "acme" || c.B != "rival" {
+		t.Errorf("wrong pair: %+v", c)
+	}
+	if !close2(c.Symmetry, 0.9) {
+		t.Errorf("symmetry = %v, want 0.9", c.Symmetry)
+	}
+	// Lowering the symmetry bar admits the asymmetric pair too.
+	if got := PeeringCandidates(l, 1e8, 0.05); len(got) != 2 {
+		t.Errorf("loose threshold candidates = %v, want 2", got)
+	}
+	// Raising the volume floor excludes everything.
+	if got := PeeringCandidates(l, 1e12, 0.05); len(got) != 0 {
+		t.Errorf("high floor candidates = %v, want none", got)
+	}
+}
+
+func TestCapexPaperNumbers(t *testing.T) {
+	m := DefaultCapex()
+	if m.LaserTerminalUSD != 500_000 {
+		t.Errorf("laser terminal price %v, want paper's 500000", m.LaserTerminalUSD)
+	}
+	if m.RegulatoryFeeUSD != 12_145 {
+		t.Errorf("FCC fee %v, want paper's 12145", m.RegulatoryFeeUSD)
+	}
+	if m.LaserTerminalKg != 15 {
+		t.Errorf("laser mass %v, want paper's 15 kg", m.LaserTerminalKg)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("default capex invalid: %v", err)
+	}
+	// Laser satellites cost more than RF-only by terminal + launch mass.
+	diff := m.SatelliteUSD(true) - m.SatelliteUSD(false)
+	want := m.LaserTerminalUSD + m.LaserTerminalKg*m.LaunchPerKgUSD
+	if !close2(diff, want) {
+		t.Errorf("laser cost delta %v, want %v", diff, want)
+	}
+}
+
+func TestFleetCost(t *testing.T) {
+	m := DefaultCapex()
+	plan := FleetPlan{Satellites: 10, LaserFraction: 0.5, GroundStations: 2}
+	got, err := m.FleetUSD(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5*m.SatelliteUSD(true) + 5*m.SatelliteUSD(false) + 2*m.GroundStationUSD
+	if !close2(got, want) {
+		t.Errorf("fleet cost %v, want %v", got, want)
+	}
+	// Validation failures.
+	if _, err := m.FleetUSD(FleetPlan{Satellites: -1}); err == nil {
+		t.Error("negative satellites should fail")
+	}
+	if _, err := m.FleetUSD(FleetPlan{Satellites: 1, LaserFraction: 1.5}); err == nil {
+		t.Error("bad laser fraction should fail")
+	}
+	bad := m
+	bad.BaseMassKg = 0
+	if _, err := bad.FleetUSD(plan); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestEntryBarrierRatio(t *testing.T) {
+	m := DefaultCapex()
+	global := FleetPlan{Satellites: 66, LaserFraction: 0.3, GroundStations: 6}
+	ratio, err := m.EntryBarrierRatio(global, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splitting a 66-satellite fleet across 6 providers drops each firm's
+	// outlay by ~6x — the democratization argument in numbers.
+	if ratio < 5.5 || ratio > 6.5 {
+		t.Errorf("entry barrier ratio = %v, want ~6", ratio)
+	}
+	if _, err := m.EntryBarrierRatio(global, 0); err == nil {
+		t.Error("zero providers should fail")
+	}
+}
+
+func close2(a, b float64) bool { return math.Abs(a-b) < 1e-6 }

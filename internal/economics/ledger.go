@@ -1,0 +1,143 @@
+// Package economics implements OpenSpace's cost models (§3 of the paper).
+//
+// The paper rejects a direct BGP-style provider/customer hierarchy — in a
+// meshed, mobile system a subsystem can be provider and customer at once —
+// and proposes instead: the home ISP knows the full topology of its users'
+// routes, "the volume of traffic along this path is tracked by all parties
+// involved to create an easily cross-verifiable account of the extent to
+// which any given ISP's traffic was carried by the rest of the network",
+// with actual prices left to bilateral agreements.
+//
+// This package provides exactly those pieces: per-provider traffic Ledgers
+// keyed by (carrier, customer), cross-verification between independently
+// kept ledgers, settlement against bilateral rate cards, the peering
+// recommendation for symmetric pairs, and the capex model (launch,
+// terminals, licensing) that drives the paper's democratization argument.
+package economics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Flow identifies a carriage relationship: Carrier moved traffic on behalf
+// of Customer (the user's home ISP).
+type Flow struct {
+	Carrier  string
+	Customer string
+}
+
+// Ledger records carried traffic volumes. Every party on a path keeps its
+// own ledger; agreement between them is what makes accounts cross-verifiable.
+// Safe for concurrent use.
+type Ledger struct {
+	Owner string // the provider keeping this ledger
+
+	mu    sync.Mutex
+	bytes map[Flow]int64
+}
+
+// NewLedger creates an empty ledger kept by owner.
+func NewLedger(owner string) *Ledger {
+	return &Ledger{Owner: owner, bytes: make(map[Flow]int64)}
+}
+
+// RecordPath accounts one transfer of n bytes for a user homed at homeISP
+// whose route's hops were carried by hopOwners (one entry per hop, in path
+// order). Hops carried by the home ISP itself cost nothing; every other hop
+// credits its carrier. Only flows involving the ledger's owner are recorded
+// — each party tracks what it can observe.
+func (l *Ledger) RecordPath(homeISP string, hopOwners []string, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("economics: bytes %d must be positive", n)
+	}
+	if homeISP == "" {
+		return errors.New("economics: home ISP required")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, owner := range hopOwners {
+		if owner == homeISP {
+			continue
+		}
+		if owner != l.Owner && homeISP != l.Owner {
+			continue // not our business
+		}
+		l.bytes[Flow{Carrier: owner, Customer: homeISP}] += n
+	}
+	return nil
+}
+
+// Carried returns the bytes carrier moved for customer according to this
+// ledger.
+func (l *Ledger) Carried(carrier, customer string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes[Flow{Carrier: carrier, Customer: customer}]
+}
+
+// Flows returns all recorded flows in deterministic order.
+func (l *Ledger) Flows() []Flow {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fs := make([]Flow, 0, len(l.bytes))
+	for f := range l.bytes {
+		fs = append(fs, f)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Carrier != fs[j].Carrier {
+			return fs[i].Carrier < fs[j].Carrier
+		}
+		return fs[i].Customer < fs[j].Customer
+	})
+	return fs
+}
+
+// Discrepancy is one disagreement found by CrossVerify.
+type Discrepancy struct {
+	Flow Flow
+	A, B int64 // what each ledger claims
+}
+
+// String implements fmt.Stringer.
+func (d Discrepancy) String() string {
+	return fmt.Sprintf("%s carried for %s: %d vs %d bytes", d.Flow.Carrier, d.Flow.Customer, d.A, d.B)
+}
+
+// CrossVerify compares two independently kept ledgers over the flows both
+// parties are involved in (carrier or customer is one of the two owners).
+// An empty result means the accounts agree — the paper's check that lets
+// providers bill each other without a trusted third party.
+func CrossVerify(a, b *Ledger) []Discrepancy {
+	shared := func(f Flow) bool {
+		involved := func(p string) bool { return f.Carrier == p || f.Customer == p }
+		return involved(a.Owner) && involved(b.Owner)
+	}
+	seen := map[Flow]bool{}
+	var ds []Discrepancy
+	check := func(f Flow) {
+		if seen[f] || !shared(f) {
+			return
+		}
+		seen[f] = true
+		va, vb := a.Carried(f.Carrier, f.Customer), b.Carried(f.Carrier, f.Customer)
+		if va != vb {
+			ds = append(ds, Discrepancy{Flow: f, A: va, B: vb})
+		}
+	}
+	for _, f := range a.Flows() {
+		check(f)
+	}
+	for _, f := range b.Flows() {
+		check(f)
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Flow.Carrier != ds[j].Flow.Carrier {
+			return ds[i].Flow.Carrier < ds[j].Flow.Carrier
+		}
+		return ds[i].Flow.Customer < ds[j].Flow.Customer
+	})
+	return ds
+}

@@ -1,0 +1,116 @@
+package economics
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// signerFor returns a keypair and a SignWith-compatible closure.
+func signerFor(t *testing.T, seed int64) (ed25519.PublicKey, func([]byte) []byte) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, func(msg []byte) []byte { return ed25519.Sign(priv, msg) }
+}
+
+// testChain builds a signed 3-hop chain a→b→a and the key map.
+func testChain(t *testing.T) ([]Receipt, map[string]ed25519.PublicKey) {
+	t.Helper()
+	pubA, signA := signerFor(t, 1)
+	pubB, signB := signerFor(t, 2)
+	keys := map[string]ed25519.PublicKey{"a": pubA, "b": pubB}
+	chain := []Receipt{
+		{Carrier: "a", Customer: "home", FlowID: 9, HopIndex: 0, Bytes: 500, AtS: 10},
+		{Carrier: "b", Customer: "home", FlowID: 9, HopIndex: 1, Bytes: 500, AtS: 10},
+		{Carrier: "a", Customer: "home", FlowID: 9, HopIndex: 2, Bytes: 500, AtS: 10},
+	}
+	chain[0].SignWith(signA)
+	chain[1].SignWith(signB)
+	chain[2].SignWith(signA)
+	return chain, keys
+}
+
+func TestVerifyChainValid(t *testing.T) {
+	chain, keys := testChain(t)
+	if err := VerifyChain(chain, keys); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestVerifyChainErrors(t *testing.T) {
+	chain, keys := testChain(t)
+
+	if err := VerifyChain(nil, keys); !errors.Is(err, ErrChainEmpty) {
+		t.Errorf("empty chain: %v", err)
+	}
+	// Unknown carrier key.
+	mutated := append([]Receipt(nil), chain...)
+	mutated[1].Carrier = "stranger"
+	if err := VerifyChain(mutated, keys); !errors.Is(err, ErrReceiptKey) {
+		t.Errorf("unknown carrier: %v", err)
+	}
+	// Tampered bytes → signature fails.
+	mutated = append([]Receipt(nil), chain...)
+	mutated[1].Bytes = 9999
+	if err := VerifyChain(mutated, keys); !errors.Is(err, ErrReceiptSig) {
+		t.Errorf("tampered bytes: %v", err)
+	}
+	// Hop gap.
+	if err := VerifyChain([]Receipt{chain[0], chain[2]}, keys); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("hop gap: %v", err)
+	}
+	// Diverging flow ID: re-sign so the signature is valid but the chain
+	// inconsistent.
+	_, signB := signerFor(t, 2)
+	mutated = append([]Receipt(nil), chain...)
+	mutated[1].FlowID = 10
+	mutated[1].SignWith(signB)
+	if err := VerifyChain(mutated, keys); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("flow divergence: %v", err)
+	}
+}
+
+func TestReceiptForgeryRejected(t *testing.T) {
+	// A carrier cannot fabricate a receipt with another carrier's name:
+	// signing with its own key fails verification against the named
+	// carrier's key.
+	pubA, _ := signerFor(t, 1)
+	_, signEvil := signerFor(t, 3)
+	r := Receipt{Carrier: "a", Customer: "home", FlowID: 1, HopIndex: 0, Bytes: 100}
+	r.SignWith(signEvil)
+	if err := r.Verify(pubA); !errors.Is(err, ErrReceiptSig) {
+		t.Errorf("forged receipt: %v", err)
+	}
+}
+
+func TestApplyChainMatchesRecordPath(t *testing.T) {
+	chain, keys := testChain(t)
+	fromReceipts := NewLedger("home")
+	if err := ApplyChain(fromReceipts, chain, keys); err != nil {
+		t.Fatal(err)
+	}
+	direct := NewLedger("home")
+	if err := direct.RecordPath("home", []string{"a", "b", "a"}, 500); err != nil {
+		t.Fatal(err)
+	}
+	if ds := CrossVerify(fromReceipts, direct); len(ds) != 0 {
+		t.Errorf("receipt-derived ledger differs: %v", ds)
+	}
+	if got := fromReceipts.Carried("a", "home"); got != 1000 {
+		t.Errorf("a carried %d, want 1000 (two hops)", got)
+	}
+	// Invalid chain never touches the ledger.
+	bad := append([]Receipt(nil), chain...)
+	bad[0].Bytes = 1
+	l := NewLedger("home")
+	if err := ApplyChain(l, bad, keys); err == nil {
+		t.Fatal("invalid chain applied")
+	}
+	if len(l.Flows()) != 0 {
+		t.Error("ledger modified by invalid chain")
+	}
+}

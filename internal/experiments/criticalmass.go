@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/sim"
+)
+
+// CriticalMassConfig parameterises E9: the §4 question of "how small
+// initial deployments can be across a small number of initial players to
+// achieve a starting point from which the system can scale". We measure
+// user↔gateway connectivity as total fleet size grows, for several provider
+// counts.
+type CriticalMassConfig struct {
+	ProviderCounts         []int
+	MinSats, MaxSats, Step int // total across all providers
+	Trials                 int
+	AltitudeKm             float64
+	Seed                   int64
+}
+
+// DefaultCriticalMass sweeps 4..72 total satellites for 1, 3 and 6 firms.
+func DefaultCriticalMass() CriticalMassConfig {
+	return CriticalMassConfig{
+		ProviderCounts: []int{1, 3, 6},
+		MinSats:        4, MaxSats: 72, Step: 4,
+		Trials: 10, AltitudeKm: 780, Seed: 6,
+	}
+}
+
+// CriticalMassResult holds one connectivity curve per provider count.
+type CriticalMassResult struct {
+	Curves []sim.Series // "k providers" → total sats vs connectivity fraction
+}
+
+// CriticalMass runs E9. Users and ground stations sit at fixed world
+// cities; satellites are random (uncoordinated launches).
+func CriticalMass(cfg CriticalMassConfig) (*CriticalMassResult, error) {
+	if len(cfg.ProviderCounts) == 0 || cfg.MinSats <= 0 || cfg.MaxSats < cfg.MinSats || cfg.Step <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: criticalmass: bad sweep")
+	}
+	res := &CriticalMassResult{}
+	userPos := []geo.LatLon{
+		{Lat: -1.29, Lon: 36.82},   // nairobi
+		{Lat: 61.22, Lon: -149.9},  // anchorage
+		{Lat: -33.87, Lon: 151.21}, // sydney
+	}
+	gsPos := []geo.LatLon{
+		{Lat: 47.6, Lon: -122.3}, // seattle
+		{Lat: 51.51, Lon: -0.13}, // london
+	}
+	for _, k := range cfg.ProviderCounts {
+		series := sim.Series{Name: fmt.Sprintf("%d providers", k)}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+			var frac sim.Histogram
+			for trial := 0; trial < cfg.Trials; trial++ {
+				net, err := buildRandomFederation(k, n, cfg.AltitudeKm, gsPos, userPos, rng)
+				if err != nil {
+					return nil, err
+				}
+				frac.Add(net.Connectivity(0).Fraction())
+			}
+			series.Append(float64(n), frac.Mean(), frac.Stddev())
+		}
+		res.Curves = append(res.Curves, series)
+	}
+	return res, nil
+}
+
+func buildRandomFederation(providers, totalSats int, altitudeKm float64, gsPos, userPos []geo.LatLon, rng *rand.Rand) (*core.Network, error) {
+	c := orbit.RandomCircular(totalSats, altitudeKm, rng)
+	fleets := core.SplitConstellation(c, providers, 0)
+	pcs := make([]core.ProviderConfig, providers)
+	for p := range pcs {
+		pcs[p] = core.ProviderConfig{ID: fmt.Sprintf("prov-%d", p), Satellites: fleets[p]}
+	}
+	// Stations round-robin across providers.
+	for i, pos := range gsPos {
+		p := i % providers
+		pcs[p].GroundStations = append(pcs[p].GroundStations, core.GroundStationConfig{
+			ID: fmt.Sprintf("gs-%d", i), Pos: pos, BackhaulBps: 10e9,
+		})
+	}
+	net, err := core.NewNetwork(core.NetworkConfig{Providers: pcs, Seed: rng.Int63()})
+	if err != nil {
+		return nil, err
+	}
+	for i, pos := range userPos {
+		if _, err := net.AddUser(fmt.Sprintf("user-%d", i), fmt.Sprintf("prov-%d", i%providers), pos); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.BuildTopology(0, 0, 60); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// CSV writes all curves in long form.
+func (r *CriticalMassResult) CSV(w io.Writer) error {
+	var rows [][]string
+	for _, s := range r.Curves {
+		for _, p := range s.Points {
+			rows = append(rows, []string{s.Name, f(p.X), f(p.Y), f(p.YErr)})
+		}
+	}
+	return WriteCSV(w, []string{"providers", "total_satellites", "connectivity", "stddev"}, rows)
+}
+
+// Render draws the curves.
+func (r *CriticalMassResult) Render(w io.Writer) error {
+	ptrs := make([]*sim.Series, len(r.Curves))
+	for i := range r.Curves {
+		ptrs[i] = &r.Curves[i]
+	}
+	return RenderSeries(w, "E9: critical mass — connectivity vs total fleet size",
+		"total satellites", "user↔gateway connectivity",
+		ptrs, 60, 14)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/sim"
+)
+
+// EconConfig parameterises E7: run real multi-provider traffic through a
+// federation, then exercise the §3 machinery — cross-verified ledgers,
+// settlement, peering detection.
+type EconConfig struct {
+	Providers        int
+	UsersPerISP      int
+	Transfers        int
+	BytesPerTransfer int64
+	Seed             int64
+}
+
+// DefaultEcon uses 3 providers, 4 users each, 120 transfers of 100 MB.
+func DefaultEcon() EconConfig {
+	return EconConfig{Providers: 3, UsersPerISP: 4, Transfers: 120,
+		BytesPerTransfer: 100_000_000, Seed: 5}
+}
+
+// EconResult summarises the run.
+type EconResult struct {
+	Invoices      []economics.Invoice
+	Balances      map[string]float64
+	Peering       []economics.PeeringCandidate
+	Discrepancies int // across all provider-pair cross-verifications
+	Transfers     int // successfully delivered
+	MeanLatencyS  float64
+}
+
+// EconExperiment runs E7 on an Iridium federation.
+func EconExperiment(cfg EconConfig) (*EconResult, error) {
+	if cfg.Providers < 2 || cfg.UsersPerISP <= 0 || cfg.Transfers <= 0 {
+		return nil, fmt.Errorf("experiments: econ: need ≥2 providers, users and transfers")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return nil, err
+	}
+	fleets := core.SplitConstellation(c, cfg.Providers, 0.3)
+	stations := []core.GroundStationConfig{
+		{ID: "gs-seattle", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}, BackhaulBps: 10e9, PricePerGB: 0.05, VisitorSurge: 2},
+		{ID: "gs-nairobi", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}, BackhaulBps: 10e9, PricePerGB: 0.08, VisitorSurge: 2},
+		{ID: "gs-sydney", Pos: geo.LatLon{Lat: -33.87, Lon: 151.21}, BackhaulBps: 10e9, PricePerGB: 0.06, VisitorSurge: 2},
+	}
+	providers := make([]core.ProviderConfig, cfg.Providers)
+	for p := range providers {
+		providers[p] = core.ProviderConfig{
+			ID:            fmt.Sprintf("prov-%d", p),
+			Satellites:    fleets[p],
+			CarriagePerGB: 0.15 + 0.05*float64(p),
+		}
+		// Spread the stations round-robin across providers.
+		for si := range stations {
+			if si%cfg.Providers == p {
+				providers[p].GroundStations = append(providers[p].GroundStations, stations[si])
+			}
+		}
+	}
+	n, err := core.NewNetwork(core.NetworkConfig{Providers: providers, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	userPos := sim.CityUsers(cfg.Providers*cfg.UsersPerISP, 30, rng)
+	var userIDs []string
+	for p := 0; p < cfg.Providers; p++ {
+		for u := 0; u < cfg.UsersPerISP; u++ {
+			id := fmt.Sprintf("user-p%d-%d", p, u)
+			if _, err := n.AddUser(id, fmt.Sprintf("prov-%d", p), userPos[p*cfg.UsersPerISP+u]); err != nil {
+				return nil, err
+			}
+			userIDs = append(userIDs, id)
+		}
+	}
+	if err := n.BuildTopology(0, 600, 60); err != nil {
+		return nil, err
+	}
+	for _, id := range userIDs {
+		if err := n.Associate(id, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	var latency sim.Histogram
+	delivered := 0
+	for i := 0; i < cfg.Transfers; i++ {
+		uid := userIDs[rng.Intn(len(userIDs))]
+		st := stations[rng.Intn(len(stations))].ID
+		t := float64(rng.Intn(600))
+		del, err := n.Send(uid, st, cfg.BytesPerTransfer, t)
+		if err != nil {
+			continue // transient unreachability is part of the workload
+		}
+		delivered++
+		latency.Add(del.LatencyS)
+	}
+
+	res := &EconResult{Transfers: delivered, MeanLatencyS: latency.Mean()}
+	// Cross-verify every provider pair's ledgers.
+	ids := n.Providers()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			res.Discrepancies += len(economics.CrossVerify(
+				n.Provider(ids[i]).Ledger, n.Provider(ids[j]).Ledger))
+		}
+	}
+	// Settle prov-0's ledger with flat bilateral rates and scan for peering.
+	rates := economics.RateCard{Default: 0.20}
+	ledger := n.Provider(ids[0]).Ledger
+	res.Invoices = economics.Settle(ledger, rates)
+	res.Balances = economics.NetBalances(res.Invoices)
+	res.Peering = economics.PeeringCandidates(ledger, cfg.BytesPerTransfer, 0.3)
+	return res, nil
+}
+
+// CSV writes the invoices.
+func (r *EconResult) CSV(w io.Writer) error {
+	var rows [][]string
+	for _, inv := range r.Invoices {
+		rows = append(rows, []string{inv.Flow.Carrier, inv.Flow.Customer,
+			fmt.Sprintf("%d", inv.Bytes), f(inv.AmountUSD)})
+	}
+	return WriteCSV(w, []string{"carrier", "customer", "bytes", "amount_usd"}, rows)
+}
+
+// Render prints the economics summary.
+func (r *EconResult) Render(w io.Writer) error {
+	fmt.Fprintf(w, "E7: economics over %d delivered transfers (mean latency %.1f ms)\n",
+		r.Transfers, r.MeanLatencyS*1000)
+	fmt.Fprintf(w, "  ledger cross-verification discrepancies: %d (0 = all parties agree)\n",
+		r.Discrepancies)
+	for _, inv := range r.Invoices {
+		fmt.Fprintf(w, "  %-8s bills %-8s $%8.2f for %6.2f GB\n",
+			inv.Flow.Carrier, inv.Flow.Customer, inv.AmountUSD, float64(inv.Bytes)/1e9)
+	}
+	for p, b := range r.Balances {
+		fmt.Fprintf(w, "  net %-8s %+9.2f USD\n", p, b)
+	}
+	if len(r.Peering) == 0 {
+		fmt.Fprintln(w, "  no peering candidates at current symmetry threshold")
+	}
+	for _, pc := range r.Peering {
+		fmt.Fprintf(w, "  peering recommended: %s ↔ %s (symmetry %.2f)\n", pc.A, pc.B, pc.Symmetry)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/sim"
+)
+
+// FederationConfig parameterises E4: k small providers, each with its own
+// random fleet, comparing solo coverage against federated union coverage as
+// fleets grow — §2's argument that "without meaningful collaboration, many
+// smaller satellite networks would simply have coverage for a patchwork of
+// regions around the globe rather than continuous global coverage".
+type FederationConfig struct {
+	Providers       int
+	MinPerFleet     int
+	MaxPerFleet     int
+	Step            int
+	AltitudeKm      float64
+	MinElevationDeg float64
+	GridSize        int
+	Seed            int64
+}
+
+// DefaultFederation sweeps 3 providers from 2 to 24 satellites each.
+func DefaultFederation() FederationConfig {
+	return FederationConfig{
+		Providers: 3, MinPerFleet: 2, MaxPerFleet: 24, Step: 2,
+		AltitudeKm: 780, MinElevationDeg: 10, GridSize: 4000, Seed: 3,
+	}
+}
+
+// FederationResult holds the coverage curves.
+type FederationResult struct {
+	BestSolo sim.Series // per-fleet size vs best single provider coverage
+	Union    sim.Series // per-fleet size vs federated coverage
+}
+
+// Federation runs E4.
+func Federation(cfg FederationConfig) (*FederationResult, error) {
+	if cfg.Providers <= 0 || cfg.MinPerFleet <= 0 || cfg.MaxPerFleet < cfg.MinPerFleet || cfg.Step <= 0 {
+		return nil, fmt.Errorf("experiments: federation: bad sweep")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &FederationResult{
+		BestSolo: sim.Series{Name: "best single provider"},
+		Union:    sim.Series{Name: "federated union"},
+	}
+	for m := cfg.MinPerFleet; m <= cfg.MaxPerFleet; m += cfg.Step {
+		providers := make([]core.ProviderConfig, cfg.Providers)
+		for p := 0; p < cfg.Providers; p++ {
+			c := orbit.RandomCircular(m, cfg.AltitudeKm, rng)
+			sats := make([]core.SatelliteConfig, c.Len())
+			for i, s := range c.Satellites {
+				sats[i] = core.SatelliteConfig{
+					ID:       fmt.Sprintf("p%d-%s", p, s.ID),
+					Elements: s.Elements,
+				}
+			}
+			providers[p] = core.ProviderConfig{ID: fmt.Sprintf("prov-%d", p), Satellites: sats}
+		}
+		n, err := core.NewNetwork(core.NetworkConfig{Providers: providers, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		g, err := n.FederationGain(0, cfg.GridSize)
+		if err != nil {
+			return nil, err
+		}
+		res.BestSolo.Append(float64(m), g.BestSolo, 0)
+		res.Union.Append(float64(m), g.Union, 0)
+	}
+	return res, nil
+}
+
+// CSV writes both curves.
+func (r *FederationResult) CSV(w io.Writer) error {
+	union := map[float64]float64{}
+	for _, p := range r.Union.Points {
+		union[p.X] = p.Y
+	}
+	var rows [][]string
+	for _, p := range r.BestSolo.Points {
+		rows = append(rows, []string{f(p.X), f(p.Y), f(union[p.X])})
+	}
+	return WriteCSV(w, []string{"sats_per_provider", "best_solo_coverage", "union_coverage"}, rows)
+}
+
+// Render draws the comparison.
+func (r *FederationResult) Render(w io.Writer) error {
+	return RenderSeries(w, "E4: solo vs federated coverage (3 providers)",
+		"satellites per provider", "coverage fraction",
+		[]*sim.Series{&r.BestSolo, &r.Union}, 60, 14)
+}
+
+// HotspotScenario quantifies the intro's motivating case: a disaster region
+// where a hotspot of users depends on whatever satellites pass overhead.
+// It returns the fraction of one day during which at least one satellite of
+// (a) the best single provider and (b) the federation is visible.
+func HotspotScenario(cfg FederationConfig, center geo.LatLon, samples int) (solo, federated float64, err error) {
+	if samples <= 0 {
+		return 0, 0, fmt.Errorf("experiments: hotspot: samples must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fleets := make([][]orbit.Satellite, cfg.Providers)
+	for p := range fleets {
+		fleets[p] = orbit.RandomCircular(cfg.MaxPerFleet, cfg.AltitudeKm, rng).Satellites
+	}
+	day := 86400.0
+	visibleAt := func(sats []orbit.Satellite, t float64) bool {
+		for _, s := range sats {
+			if s.Elements.Visible(center, t, cfg.MinElevationDeg) {
+				return true
+			}
+		}
+		return false
+	}
+	var all []orbit.Satellite
+	for _, f := range fleets {
+		all = append(all, f...)
+	}
+	soloHits := make([]int, cfg.Providers)
+	fedHits := 0
+	for i := 0; i < samples; i++ {
+		t := day * float64(i) / float64(samples)
+		for p, fl := range fleets {
+			if visibleAt(fl, t) {
+				soloHits[p]++
+			}
+		}
+		if visibleAt(all, t) {
+			fedHits++
+		}
+	}
+	best := 0
+	for _, h := range soloHits {
+		if h > best {
+			best = h
+		}
+	}
+	return float64(best) / float64(samples), float64(fedHits) / float64(samples), nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// Fig2bConfig parameterises the latency-vs-constellation-size sweep.
+// The paper's method (§4): fix the user and ground station, randomly
+// distribute satellite orbits, and measure the shortest-path length between
+// the satellite that picks up the user's signal and the satellite that
+// relays it to the ground station, converting length to latency.
+type Fig2bConfig struct {
+	MinSats, MaxSats, Step int
+	Trials                 int // random constellations per point
+	AltitudeKm             float64
+	User                   geo.LatLon
+	Ground                 geo.LatLon
+	MinElevationDeg        float64
+	Seed                   int64
+}
+
+// DefaultFig2b mirrors the paper's setup: 780 km satellites, a fixed user
+// and a fixed gateway, N swept to 100. The paper does not publish its
+// endpoint locations; we use São Paulo → London (≈9,500 km), whose
+// large-constellation inter-satellite latency lands at the ~30 ms level the
+// figure flattens to.
+func DefaultFig2b() Fig2bConfig {
+	return Fig2bConfig{
+		MinSats: 1, MaxSats: 100, Step: 3,
+		Trials:          120,
+		AltitudeKm:      780,
+		User:            geo.LatLon{Lat: -23.55, Lon: -46.63},
+		Ground:          geo.LatLon{Lat: 51.51, Lon: -0.13},
+		MinElevationDeg: 0,
+		Seed:            1,
+	}
+}
+
+// Fig2bResult carries the two series of the figure: inter-satellite
+// propagation latency (over trials where a path exists) and the fraction of
+// trials with any path at all (which shows the paper's "minimum of about
+// four satellites" observation).
+type Fig2bResult struct {
+	Latency      sim.Series // N vs mean inter-satellite latency (ms), err = stddev
+	PathFraction sim.Series // N vs fraction of trials with a path
+}
+
+// Fig2b runs the sweep.
+func Fig2b(cfg Fig2bConfig) (*Fig2bResult, error) {
+	if cfg.MinSats <= 0 || cfg.MaxSats < cfg.MinSats || cfg.Step <= 0 {
+		return nil, fmt.Errorf("experiments: fig2b: bad sweep [%d,%d] step %d",
+			cfg.MinSats, cfg.MaxSats, cfg.Step)
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: fig2b: trials %d must be positive", cfg.Trials)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tcfg := topo.DefaultConfig()
+	tcfg.MinElevationDeg = cfg.MinElevationDeg
+	// The paper's §4 simulation is deliberately simplified: any two
+	// satellites with line of sight over the Earth's limb can relay, with
+	// no RF power cap. Leave LineOfSight as the only ISL constraint so the
+	// small-N regime shows the long detours the figure's steep left side
+	// comes from.
+	tcfg.ISLRangeKm = 1e9
+
+	res := &Fig2bResult{
+		Latency:      sim.Series{Name: "inter-satellite latency (ms)"},
+		PathFraction: sim.Series{Name: "fraction of trials with a path"},
+	}
+	users := []topo.UserSpec{{ID: "user", Provider: "p", Pos: cfg.User}}
+	grounds := []topo.GroundSpec{{ID: "gs", Provider: "p", Pos: cfg.Ground}}
+
+	for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+		var lat sim.Histogram
+		paths := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
+			specs := make([]topo.SatSpec, c.Len())
+			for i, s := range c.Satellites {
+				specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+			}
+			snap := topo.Build(0, tcfg, specs, grounds, users)
+			p, err := routing.ShortestPath(snap, "user", "gs", routing.LatencyCost(0))
+			if err != nil {
+				continue
+			}
+			paths++
+			lat.Add(interSatelliteDelayS(snap, p) * 1000)
+		}
+		res.PathFraction.Append(float64(n), float64(paths)/float64(cfg.Trials), 0)
+		if lat.Count() > 0 {
+			res.Latency.Append(float64(n), lat.Mean(), lat.Stddev())
+		}
+	}
+	return res, nil
+}
+
+// interSatelliteDelayS sums the propagation delay of the path's
+// satellite-to-satellite hops only — the quantity Figure 2(b) plots. For
+// single-satellite (bent-pipe) paths it is zero.
+func interSatelliteDelayS(snap *topo.Snapshot, p routing.Path) float64 {
+	var total float64
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		e, ok := snap.Edge(p.Nodes[i], p.Nodes[i+1])
+		if !ok {
+			continue
+		}
+		if e.Kind == topo.LinkISLRF || e.Kind == topo.LinkISLLaser {
+			total += e.DelayS
+		}
+	}
+	return total
+}
+
+// CSV writes both series.
+func (r *Fig2bResult) CSV(w io.Writer) error {
+	frac := map[float64]float64{}
+	for _, p := range r.PathFraction.Points {
+		frac[p.X] = p.Y
+	}
+	var rows [][]string
+	for _, p := range r.Latency.Points {
+		rows = append(rows, []string{f(p.X), f(p.Y), f(p.YErr), f(frac[p.X])})
+	}
+	return WriteCSV(w, []string{"satellites", "latency_ms_mean", "latency_ms_stddev", "path_fraction"}, rows)
+}
+
+// Render draws the figure as ASCII.
+func (r *Fig2bResult) Render(w io.Writer) error {
+	return RenderSeries(w, "Figure 2(b): propagation latency vs constellation size",
+		"satellites", "latency (ms)", []*sim.Series{&r.Latency}, 60, 16)
+}

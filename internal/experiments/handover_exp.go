@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/handover"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// HandoverConfig parameterises E5: predictive vs re-association handover
+// for a fixed user under the Iridium reference constellation split across
+// providers.
+type HandoverConfig struct {
+	Providers       int
+	User            geo.LatLon
+	MinElevationDeg float64
+	HorizonS        float64
+	Predictive      handover.PredictiveCosts
+	Reauth          handover.ReauthCosts
+}
+
+// DefaultHandover observes a Pittsburgh user for one hour.
+func DefaultHandover() HandoverConfig {
+	return HandoverConfig{
+		Providers:       3,
+		User:            geo.LatLon{Lat: 40.44, Lon: -79.99},
+		MinElevationDeg: 10,
+		HorizonS:        3600,
+		Predictive:      handover.DefaultPredictiveCosts(),
+		Reauth:          handover.DefaultReauthCosts(),
+	}
+}
+
+// HandoverResult compares the two schemes.
+type HandoverResult struct {
+	Predictive *handover.Timeline
+	Reauth     *handover.Timeline
+}
+
+// SpeedupFactor returns reauth interruption / predictive interruption.
+func (r *HandoverResult) SpeedupFactor() float64 {
+	if r.Predictive.TotalInterruptionS == 0 {
+		return 0
+	}
+	return r.Reauth.TotalInterruptionS / r.Predictive.TotalInterruptionS
+}
+
+// HandoverExperiment runs E5.
+func HandoverExperiment(cfg HandoverConfig) (*HandoverResult, error) {
+	if cfg.Providers <= 0 {
+		return nil, fmt.Errorf("experiments: handover: providers must be positive")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return nil, err
+	}
+	sats := make([]handover.Sat, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = handover.Sat{
+			ID:       s.ID,
+			Provider: fmt.Sprintf("prov-%d", i%cfg.Providers),
+			Elements: s.Elements,
+		}
+	}
+	p, err := handover.NewPredictor(sats, cfg.User, cfg.MinElevationDeg)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.SimulatePredictive(0, cfg.HorizonS, cfg.Predictive)
+	if err != nil {
+		return nil, err
+	}
+	re, err := p.SimulateReauth(0, cfg.HorizonS, cfg.Reauth)
+	if err != nil {
+		return nil, err
+	}
+	return &HandoverResult{Predictive: pred, Reauth: re}, nil
+}
+
+// CSV writes the per-scheme summary.
+func (r *HandoverResult) CSV(w io.Writer) error {
+	rows := [][]string{
+		{"predictive", d(r.Predictive.HandoverCount), f(r.Predictive.TotalInterruptionS),
+			d(r.Predictive.CrossProviderCount), f(r.Predictive.OutageS)},
+		{"reauth", d(r.Reauth.HandoverCount), f(r.Reauth.TotalInterruptionS),
+			d(r.Reauth.CrossProviderCount), f(r.Reauth.OutageS)},
+	}
+	return WriteCSV(w, []string{"scheme", "handovers", "total_interruption_s",
+		"cross_provider", "outage_s"}, rows)
+}
+
+// Render prints the comparison table.
+func (r *HandoverResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "E5: handover schemes over 1 h (Iridium, 3 providers)")
+	fmt.Fprintf(w, "  %-11s %9s %22s %15s\n", "scheme", "handovers", "total interruption (s)", "cross-provider")
+	fmt.Fprintf(w, "  %-11s %9d %22.2f %15d\n", "predictive",
+		r.Predictive.HandoverCount, r.Predictive.TotalInterruptionS, r.Predictive.CrossProviderCount)
+	fmt.Fprintf(w, "  %-11s %9d %22.2f %15d\n", "reauth",
+		r.Reauth.HandoverCount, r.Reauth.TotalInterruptionS, r.Reauth.CrossProviderCount)
+	_, err := fmt.Fprintf(w, "  predictive handover cuts interruption by %.0fx\n", r.SpeedupFactor())
+	return err
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// IncentivesConfig parameterises E10: the §5(4) membership case for a large
+// provider deciding whether to join a federation of smaller ones. The big
+// provider has `BigSats` satellites and `BigUsers` subscribers; `SmallFirms`
+// firms with `SmallSats` satellites each form the rest of the federation.
+type IncentivesConfig struct {
+	BigSats         int
+	BigUsers        int
+	SmallFirms      int
+	SmallSats       int
+	AltitudeKm      float64
+	MinElevationDeg float64
+	// Traffic assumptions for the settlement channel.
+	MonthlyGBForBig   float64 // GB the federation carries for the big firm
+	MonthlyGBForSmall float64 // GB the big firm carries for the others
+	RatePerGB         float64
+	// Value of availability.
+	RevenuePerUserHour float64
+	Seed               int64
+}
+
+// DefaultIncentives models a 24-satellite incumbent with 50k users against
+// four 8-satellite entrants.
+func DefaultIncentives() IncentivesConfig {
+	return IncentivesConfig{
+		BigSats: 24, BigUsers: 50_000,
+		SmallFirms: 4, SmallSats: 8,
+		AltitudeKm: 780, MinElevationDeg: 10,
+		MonthlyGBForBig: 5_000, MonthlyGBForSmall: 6_000,
+		RatePerGB: 0.20, RevenuePerUserHour: 0.002,
+		Seed: 8,
+	}
+}
+
+// IncentivesResult is the computed membership case.
+type IncentivesResult struct {
+	Report         economics.IncentiveReport
+	SoloAvail      float64
+	FederatedAvail float64
+}
+
+// IncentivesExperiment runs E10: availability is measured by sampling a
+// representative user's sky over a day (solo fleet vs federation), and the
+// settlement channel is evaluated from the configured traffic mix over a
+// 30-day month.
+func IncentivesExperiment(cfg IncentivesConfig) (*IncentivesResult, error) {
+	if cfg.BigSats <= 0 || cfg.SmallFirms <= 0 || cfg.SmallSats <= 0 {
+		return nil, fmt.Errorf("experiments: incentives: fleet sizes must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	big := orbit.RandomCircular(cfg.BigSats, cfg.AltitudeKm, rng).Satellites
+	var small []orbit.Satellite
+	for f := 0; f < cfg.SmallFirms; f++ {
+		small = append(small, orbit.RandomCircular(cfg.SmallSats, cfg.AltitudeKm, rng).Satellites...)
+	}
+
+	// Availability for a representative mid-latitude user.
+	user := worldUser()
+	const day = 86400.0
+	const samples = 400
+	avail := func(fleets ...[]orbit.Satellite) float64 {
+		hits := 0
+		for i := 0; i < samples; i++ {
+			t := day * float64(i) / samples
+			visible := false
+			for _, fl := range fleets {
+				for _, s := range fl {
+					if s.Elements.Visible(user, t, cfg.MinElevationDeg) {
+						visible = true
+						break
+					}
+				}
+				if visible {
+					break
+				}
+			}
+			if visible {
+				hits++
+			}
+		}
+		return float64(hits) / samples
+	}
+	solo := avail(big)
+	federated := avail(big, small)
+
+	// Settlement channel over a month.
+	ledger := economics.NewLedger("big")
+	if cfg.MonthlyGBForBig > 0 {
+		if err := ledger.RecordPath("big", []string{"smalls"}, int64(cfg.MonthlyGBForBig*1e9)); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MonthlyGBForSmall > 0 {
+		if err := ledger.RecordPath("smalls", []string{"big"}, int64(cfg.MonthlyGBForSmall*1e9)); err != nil {
+			return nil, err
+		}
+	}
+	report, err := economics.Incentive(ledger, economics.RateCard{Default: cfg.RatePerGB},
+		"big", solo, federated, economics.CoverageEconomics{
+			Users: cfg.BigUsers, RevenuePerUserHour: cfg.RevenuePerUserHour, Hours: 30 * 24,
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &IncentivesResult{Report: report, SoloAvail: solo, FederatedAvail: federated}, nil
+}
+
+// worldUser returns the representative user location (Nairobi).
+func worldUser() geo.LatLon {
+	return geo.LatLon{Lat: -1.29, Lon: 36.82}
+}
+
+// CSV writes the single-row summary.
+func (r *IncentivesResult) CSV(w io.Writer) error {
+	rows := [][]string{{
+		r.Report.Provider,
+		f(r.Report.CarriageRevenueUSD), f(r.Report.CarriageCostUSD),
+		f(r.Report.ContributionIndex),
+		f(r.SoloAvail), f(r.FederatedAvail),
+		f(r.Report.CoverageDividendUSD), f(r.Report.NetBenefitUSD),
+	}}
+	return WriteCSV(w, []string{"provider", "carriage_revenue_usd", "carriage_cost_usd",
+		"contribution_index", "solo_availability", "federated_availability",
+		"coverage_dividend_usd", "net_benefit_usd"}, rows)
+}
+
+// Render prints the membership case.
+func (r *IncentivesResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "E10: §5(4) — should the incumbent join the federation? (30-day horizon)")
+	fmt.Fprintf(w, "  carriage revenue: $%.0f | carriage cost: $%.0f | contribution index %.2f\n",
+		r.Report.CarriageRevenueUSD, r.Report.CarriageCostUSD, r.Report.ContributionIndex)
+	fmt.Fprintf(w, "  subscriber availability: %.1f%% solo → %.1f%% federated\n",
+		r.SoloAvail*100, r.FederatedAvail*100)
+	fmt.Fprintf(w, "  coverage dividend: $%.0f\n", r.Report.CoverageDividendUSD)
+	verdict := "JOIN"
+	if r.Report.NetBenefitUSD <= 0 {
+		verdict = "STAY OUT"
+	}
+	_, err := fmt.Fprintf(w, "  net benefit: $%.0f → %s\n", r.Report.NetBenefitUSD, verdict)
+	return err
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+// LinkRow is one line of the E8 link-technology trade table (§2.1): what a
+// provider gets — and pays — for each ISL technology at a given range.
+type LinkRow struct {
+	Tech          string
+	DistanceKm    float64
+	Closes        bool
+	CapacityBps   float64
+	EnergyPerBitJ float64
+	MassKg        float64
+	CostUSD       float64
+}
+
+// LinksResult is the full table.
+type LinksResult struct {
+	Rows []LinkRow
+}
+
+// LinksExperiment evaluates the three standard terminals across
+// representative ISL ranges.
+func LinksExperiment(distancesKm []float64) (*LinksResult, error) {
+	if len(distancesKm) == 0 {
+		return nil, fmt.Errorf("experiments: links: distances required")
+	}
+	uhf := phy.StandardUHF()
+	sband := phy.StandardSBand()
+	laser := phy.ConLCT80()
+	res := &LinksResult{}
+	for _, d := range distancesKm {
+		bu := uhf.Budget(d, 0)
+		res.Rows = append(res.Rows, LinkRow{
+			Tech: "uhf", DistanceKm: d, Closes: bu.Closed, CapacityBps: bu.CapacityBps,
+			EnergyPerBitJ: uhf.EnergyPerBitJ(d), MassKg: uhf.MassKg, CostUSD: uhf.CostUSD,
+		})
+		bs := sband.Budget(d, 0)
+		res.Rows = append(res.Rows, LinkRow{
+			Tech: "s-band", DistanceKm: d, Closes: bs.Closed, CapacityBps: bs.CapacityBps,
+			EnergyPerBitJ: sband.EnergyPerBitJ(d), MassKg: sband.MassKg, CostUSD: sband.CostUSD,
+		})
+		bl := laser.Budget(d)
+		res.Rows = append(res.Rows, LinkRow{
+			Tech: "laser", DistanceKm: d, Closes: bl.Closed, CapacityBps: bl.CapacityBps,
+			EnergyPerBitJ: laser.EnergyPerBitJ(d), MassKg: laser.MassKg, CostUSD: laser.CostUSD,
+		})
+	}
+	return res, nil
+}
+
+// DefaultLinkDistances covers short intra-plane to extreme cross-plane
+// ranges.
+func DefaultLinkDistances() []float64 { return []float64{500, 1000, 2000, 4000, 5400} }
+
+// CSV writes the table.
+func (r *LinksResult) CSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		closes := "0"
+		if row.Closes {
+			closes = "1"
+		}
+		rows = append(rows, []string{row.Tech, f(row.DistanceKm), closes,
+			f(row.CapacityBps), f(row.EnergyPerBitJ), f(row.MassKg), f(row.CostUSD)})
+	}
+	return WriteCSV(w, []string{"tech", "distance_km", "closes", "capacity_bps",
+		"energy_per_bit_j", "mass_kg", "cost_usd"}, rows)
+}
+
+// Render prints the trade table.
+func (r *LinksResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "E8: ISL technology trade (the paper's RF-minimum / laser-optional case)")
+	fmt.Fprintf(w, "  %-7s %9s %7s %13s %13s %7s %9s\n",
+		"tech", "range km", "closes", "capacity", "J/bit", "kg", "USD")
+	for _, row := range r.Rows {
+		cap := "-"
+		epb := "-"
+		if row.Closes {
+			cap = fmt.Sprintf("%.1f Mbps", row.CapacityBps/1e6)
+			epb = fmt.Sprintf("%.2e", row.EnergyPerBitJ)
+		}
+		fmt.Fprintf(w, "  %-7s %9.0f %7v %13s %13s %7.1f %9.0f\n",
+			row.Tech, row.DistanceKm, row.Closes, cap, epb, row.MassKg, row.CostUSD)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// ResilienceConfig parameterises E12: the §4 redundancy claim — "additional
+// satellites ensure redundancy, such that operational failures, load
+// balancing, and range cutoffs … can be handled efficiently". We kill
+// random satellites from the reference constellation and measure what
+// survives.
+type ResilienceConfig struct {
+	MaxFailures int
+	Step        int
+	Trials      int
+	Seed        int64
+}
+
+// DefaultResilience kills up to 40 of Iridium's 66 satellites.
+func DefaultResilience() ResilienceConfig {
+	return ResilienceConfig{MaxFailures: 40, Step: 4, Trials: 10, Seed: 13}
+}
+
+// ResilienceResult carries the degradation curves for a set of user↔gateway
+// pairs.
+type ResilienceResult struct {
+	Connectivity  sim.Series // failures vs fraction of pairs still connected
+	LatencyMs     sim.Series // failures vs mean latency of surviving paths
+	DisjointPaths sim.Series // failures vs mean edge-disjoint path count
+}
+
+// Resilience runs E12 over three user/gateway pairs.
+func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
+	if cfg.MaxFailures < 0 || cfg.Step <= 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: resilience: bad config")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxFailures >= c.Len() {
+		return nil, fmt.Errorf("experiments: resilience: cannot fail %d of %d satellites",
+			cfg.MaxFailures, c.Len())
+	}
+	users := []topo.UserSpec{
+		{ID: "u0", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}},
+		{ID: "u1", Provider: "p", Pos: geo.LatLon{Lat: 40.44, Lon: -79.99}},
+		{ID: "u2", Provider: "p", Pos: geo.LatLon{Lat: -33.87, Lon: 151.21}},
+	}
+	grounds := []topo.GroundSpec{
+		{ID: "g0", Provider: "p", Pos: geo.LatLon{Lat: 51.51, Lon: -0.13}},
+		{ID: "g1", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}},
+	}
+	tcfg := topo.DefaultConfig()
+	tcfg.MinElevationDeg = 0 // isolate ISL-mesh resilience from access scarcity
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &ResilienceResult{
+		Connectivity:  sim.Series{Name: "pairs connected"},
+		LatencyMs:     sim.Series{Name: "mean latency (ms)"},
+		DisjointPaths: sim.Series{Name: "mean disjoint paths"},
+	}
+	for k := 0; k <= cfg.MaxFailures; k += cfg.Step {
+		connected, pairs := 0, 0
+		var lat, disj sim.Histogram
+		for trial := 0; trial < cfg.Trials; trial++ {
+			// Kill k distinct satellites.
+			alive := rng.Perm(c.Len())[k:]
+			sats := make([]topo.SatSpec, 0, len(alive))
+			for _, idx := range alive {
+				s := c.Satellites[idx]
+				sats = append(sats, topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements})
+			}
+			snap := topo.Build(0, tcfg, sats, grounds, users)
+			for _, u := range users {
+				for _, g := range grounds {
+					pairs++
+					p, err := routing.ShortestPath(snap, u.ID, g.ID, routing.LatencyCost(0))
+					if err != nil {
+						continue
+					}
+					connected++
+					lat.Add(p.DelayS * 1000)
+					if dp, err := routing.DisjointPaths(snap, u.ID, g.ID, routing.LatencyCost(0), 5); err == nil {
+						disj.Add(float64(len(dp)))
+					}
+				}
+			}
+		}
+		x := float64(k)
+		res.Connectivity.Append(x, float64(connected)/float64(pairs), 0)
+		if lat.Count() > 0 {
+			res.LatencyMs.Append(x, lat.Mean(), lat.Stddev())
+			res.DisjointPaths.Append(x, disj.Mean(), 0)
+		}
+	}
+	return res, nil
+}
+
+// CSV writes the degradation curves.
+func (r *ResilienceResult) CSV(w io.Writer) error {
+	lat := map[float64]sim.Point{}
+	for _, p := range r.LatencyMs.Points {
+		lat[p.X] = p
+	}
+	dis := map[float64]float64{}
+	for _, p := range r.DisjointPaths.Points {
+		dis[p.X] = p.Y
+	}
+	var rows [][]string
+	for _, p := range r.Connectivity.Points {
+		l := lat[p.X]
+		rows = append(rows, []string{f(p.X), f(p.Y), f(l.Y), f(l.YErr), f(dis[p.X])})
+	}
+	return WriteCSV(w, []string{"failed_satellites", "connectivity",
+		"latency_ms_mean", "latency_ms_stddev", "mean_disjoint_paths"}, rows)
+}
+
+// Render draws the connectivity curve.
+func (r *ResilienceResult) Render(w io.Writer) error {
+	if err := RenderSeries(w, "E12: failure resilience — killing Iridium satellites",
+		"failed satellites", "user↔gateway connectivity",
+		[]*sim.Series{&r.Connectivity}, 60, 12); err != nil {
+		return err
+	}
+	last := r.DisjointPaths.Points
+	if len(last) > 0 {
+		_, err := fmt.Fprintf(w, "  disjoint paths: %.1f intact → %.1f at %0.f failures\n",
+			r.DisjointPaths.Points[0].Y, last[len(last)-1].Y, last[len(last)-1].X)
+		return err
+	}
+	return nil
+}

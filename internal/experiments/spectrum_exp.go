@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/spectrum"
+)
+
+// SpectrumConfig parameterises E13: how many downlink channels the shared
+// band needs as the number of shared gateway sites grows — the §2/§5(3)
+// spectrum-coordination cost of an open system, where every provider's
+// satellites must avoid colliding at every member's stations.
+type SpectrumConfig struct {
+	StationCounts   []int
+	ChannelBudget   int // channels available; satellites beyond it stay silent
+	MinElevationDeg float64
+	Seed            int64
+}
+
+// DefaultSpectrum sweeps 1..16 gateways against an 8-channel Ku budget.
+func DefaultSpectrum() SpectrumConfig {
+	return SpectrumConfig{
+		StationCounts:   []int{1, 2, 4, 8, 12, 16},
+		ChannelBudget:   8,
+		MinElevationDeg: 0,
+		Seed:            14,
+	}
+}
+
+// SpectrumResult carries the coordination curves.
+type SpectrumResult struct {
+	ChannelsUsed sim.Series // stations vs distinct channels assigned
+	Conflicts    sim.Series // stations vs conflicting pairs
+	Silenced     sim.Series // stations vs satellites that had to stay silent
+}
+
+// SpectrumExperiment runs E13 on the Iridium constellation with gateway
+// sites drawn from the world-city catalogue.
+func SpectrumExperiment(cfg SpectrumConfig) (*SpectrumResult, error) {
+	if len(cfg.StationCounts) == 0 || cfg.ChannelBudget <= 0 {
+		return nil, fmt.Errorf("experiments: spectrum: bad config")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return nil, err
+	}
+	sats := make([]spectrum.Sat, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = spectrum.Sat{ID: s.ID, Pos: s.Elements.PositionECEF(0)}
+	}
+	cities := sim.WorldCities()
+	res := &SpectrumResult{
+		ChannelsUsed: sim.Series{Name: "channels used"},
+		Conflicts:    sim.Series{Name: "conflicting pairs"},
+		Silenced:     sim.Series{Name: "satellites silenced"},
+	}
+	scfg := spectrum.Config{
+		Band: phy.BandKu, Channels: cfg.ChannelBudget,
+		MinElevationDeg: cfg.MinElevationDeg,
+	}
+	for _, n := range cfg.StationCounts {
+		if n > len(cities) {
+			return nil, fmt.Errorf("experiments: spectrum: only %d city sites available", len(cities))
+		}
+		stations := make([]geo.LatLon, n)
+		for i := 0; i < n; i++ {
+			stations[i] = cities[i].Pos
+		}
+		plan, err := spectrum.Assign(scfg, sats, stations)
+		if err != nil {
+			return nil, err
+		}
+		if bad := spectrum.Verify(scfg, plan, sats, stations); len(bad) != 0 {
+			return nil, fmt.Errorf("experiments: spectrum: plan fails verification: %v", bad)
+		}
+		used := map[int]bool{}
+		for _, ch := range plan.Assignment {
+			used[ch] = true
+		}
+		x := float64(n)
+		res.ChannelsUsed.Append(x, float64(len(used)), 0)
+		res.Conflicts.Append(x, float64(plan.Conflicts), 0)
+		res.Silenced.Append(x, float64(len(plan.Unassigned)), 0)
+	}
+	return res, nil
+}
+
+// CSV writes the curves.
+func (r *SpectrumResult) CSV(w io.Writer) error {
+	conf := map[float64]float64{}
+	for _, p := range r.Conflicts.Points {
+		conf[p.X] = p.Y
+	}
+	sil := map[float64]float64{}
+	for _, p := range r.Silenced.Points {
+		sil[p.X] = p.Y
+	}
+	var rows [][]string
+	for _, p := range r.ChannelsUsed.Points {
+		rows = append(rows, []string{f(p.X), f(p.Y), f(conf[p.X]), f(sil[p.X])})
+	}
+	return WriteCSV(w, []string{"stations", "channels_used", "conflicting_pairs", "silenced"}, rows)
+}
+
+// Render prints the coordination table.
+func (r *SpectrumResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "E13: spectrum coordination — channel demand vs shared gateway sites")
+	fmt.Fprintf(w, "  %-9s %14s %18s %9s\n", "stations", "channels used", "conflicting pairs", "silenced")
+	for i, p := range r.ChannelsUsed.Points {
+		fmt.Fprintf(w, "  %-9.0f %14.0f %18.0f %9.0f\n",
+			p.X, p.Y, r.Conflicts.Points[i].Y, r.Silenced.Points[i].Y)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sampleFrames returns one populated instance of every frame type.
+func sampleFrames() []Frame {
+	orbit := OrbitalState{
+		SemiMajorAxisKm: 7151, Eccentricity: 0.001, InclinationDeg: 86.4,
+		RAANDeg: 30, ArgPerigeeDeg: 0, MeanAnomalyDeg: 127.3, EpochS: 3600,
+	}
+	return []Frame{
+		&Beacon{
+			SatelliteID: "acme-p0s3", ProviderID: "acme", Caps: CapRF | CapLaser,
+			Orbit: orbit, LoadFraction: 0.42, SentAtS: 1234.5,
+		},
+		&PairRequest{
+			FromID: "acme-p0s3", ToID: "orbit-co-7", Caps: CapRF | CapLaser,
+			LaserAxisX: 0.1, LaserAxisY: -0.2, LaserAxisZ: 0.97,
+			AvailableBps: 1e9, RequestedBps: 5e8,
+		},
+		&PairResponse{
+			FromID: "orbit-co-7", ToID: "acme-p0s3", Accept: true,
+			Tech: LinkLaser, CommittedBps: 5e8,
+		},
+		&PairResponse{
+			FromID: "orbit-co-7", ToID: "acme-p0s3", Accept: false,
+			Tech: LinkRF, Reason: "power budget exhausted",
+		},
+		&AuthRequest{UserID: "user-17", HomeISP: "acme", ViaSatID: "orbit-co-7", ClientNonce: 0xDEADBEEF},
+		&AuthChallenge{UserID: "user-17", ServerNonce: 0xCAFEBABE12345678},
+		&AuthResponse{UserID: "user-17", Proof: []byte{1, 2, 3, 4, 5}},
+		&AuthResult{UserID: "user-17", Success: true, Certificate: []byte("cert-bytes")},
+		&AuthResult{UserID: "user-18", Success: false, Reason: "unknown user"},
+		&Data{
+			FlowID: 99, Seq: 7, SrcUser: "user-17", DstID: "gs-nairobi",
+			HopLimit: 16, Payload: []byte("hello, space"),
+		},
+		&HandoverNotice{
+			ServingID: "acme-p0s3", SuccessorID: "acme-p0s4",
+			SuccessorOrbit: orbit, EffectiveAtS: 1300, SessionToken: 0xABCD,
+		},
+		&Ack{FlowID: 99, Seq: 7},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		wire, err := Encode(f)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", f.FrameType(), err)
+		}
+		got, n, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f.FrameType(), err)
+		}
+		if n != len(wire) {
+			t.Errorf("%v: consumed %d of %d bytes", f.FrameType(), n, len(wire))
+		}
+		if !reflect.DeepEqual(f, got) {
+			t.Errorf("%v: round trip mismatch:\nsent %+v\ngot  %+v", f.FrameType(), f, got)
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Multiple frames concatenated decode one at a time via the returned
+	// byte count.
+	var stream []byte
+	frames := sampleFrames()
+	for _, f := range frames {
+		w, err := Encode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, w...)
+	}
+	var got []Frame
+	for len(stream) > 0 {
+		f, n, err := Decode(stream)
+		if err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		got = append(got, f)
+		stream = stream[n:]
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	wire, err := Encode(&Ack{FlowID: 1, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated at every length below the minimum envelope.
+	if _, _, err := Decode(wire[:HeaderLen+ChecksumLen-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short buffer: got %v, want ErrTruncated", err)
+	}
+	// Truncated payload.
+	if _, _, err := Decode(wire[:len(wire)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated payload: got %v, want ErrTruncated", err)
+	}
+	// Bad magic.
+	bad := bytes.Clone(wire)
+	bad[0] ^= 0xFF
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+	// Bad version.
+	bad = bytes.Clone(wire)
+	bad[2] = 99
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v", err)
+	}
+	// Corrupted body → checksum error.
+	bad = bytes.Clone(wire)
+	bad[HeaderLen] ^= 0x01
+	if _, _, err := Decode(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt body: got %v", err)
+	}
+	// Unknown type (fix the checksum so the type check is reached).
+	bad = bytes.Clone(wire)
+	bad[3] = 200
+	fixChecksum(bad)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type: got %v", err)
+	}
+	// Oversized declared payload.
+	bad = bytes.Clone(wire)
+	binary.LittleEndian.PutUint32(bad[4:8], MaxPayload+1)
+	if _, _, err := Decode(bad); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized: got %v", err)
+	}
+}
+
+func fixChecksum(b []byte) {
+	sum := crc32.ChecksumIEEE(b[:len(b)-ChecksumLen])
+	binary.LittleEndian.PutUint32(b[len(b)-ChecksumLen:], sum)
+}
+
+func TestEncodeTooLarge(t *testing.T) {
+	d := &Data{Payload: make([]byte, MaxPayload+1)}
+	if _, err := Encode(d); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized encode: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	// A payload with trailing garbage must fail strict decoding even when
+	// the checksum is valid.
+	wire, err := Encode(&Ack{FlowID: 1, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice one extra payload byte in and re-seal.
+	body := bytes.Clone(wire[:len(wire)-ChecksumLen])
+	body = append(body, 0x00)
+	binary.LittleEndian.PutUint32(body[4:8], uint32(len(body)-HeaderLen))
+	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+	if _, _, err := Decode(body); !errors.Is(err, ErrBadField) {
+		t.Errorf("trailing bytes: got %v, want ErrBadField", err)
+	}
+}
+
+func TestFuzzDecodeNeverPanics(t *testing.T) {
+	// Decode must reject arbitrary garbage gracefully.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if f, _, err := Decode(buf); err == nil {
+			// Vanishingly unlikely; if it decodes, it must be well-formed.
+			if f == nil {
+				t.Fatal("nil frame with nil error")
+			}
+		}
+	}
+	// Bit-flipped real frames likewise.
+	wire, err := Encode(sampleFrames()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(wire)*8; i++ {
+		mut := bytes.Clone(wire)
+		mut[i/8] ^= 1 << (i % 8)
+		Decode(mut) // must not panic
+	}
+}
+
+func TestBeaconRoundTripProperty(t *testing.T) {
+	f := func(satID, provID string, caps uint16, load, sent float64) bool {
+		if len(satID) > 1000 || len(provID) > 1000 {
+			return true
+		}
+		in := &Beacon{
+			SatelliteID: satID, ProviderID: provID, Caps: Capability(caps),
+			Orbit:        OrbitalState{SemiMajorAxisKm: 7151, MeanAnomalyDeg: 12},
+			LoadFraction: load, SentAtS: sent,
+		}
+		wire, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, n, err := Decode(wire)
+		if err != nil || n != len(wire) {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataRoundTripProperty(t *testing.T) {
+	f := func(flow uint64, seq uint32, src, dst string, hop uint8, payload []byte) bool {
+		if len(src) > 1000 || len(dst) > 1000 || len(payload) > 4096 {
+			return true
+		}
+		in := &Data{FlowID: flow, Seq: seq, SrcUser: src, DstID: dst, HopLimit: hop, Payload: payload}
+		wire, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		got := out.(*Data)
+		// reflect.DeepEqual treats nil and empty slices differently;
+		// the wire format does not distinguish them.
+		if len(in.Payload) == 0 && len(got.Payload) == 0 {
+			got.Payload, in.Payload = nil, nil
+		}
+		return reflect.DeepEqual(in, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapabilityHas(t *testing.T) {
+	c := CapRF | CapLaser
+	if !c.Has(CapRF) || !c.Has(CapLaser) || !c.Has(CapRF|CapLaser) {
+		t.Error("Has should report set bits")
+	}
+	if c.Has(CapGroundKu) || c.Has(CapRF|CapGroundKu) {
+		t.Error("Has should reject unset bits")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, f := range sampleFrames() {
+		if s := f.FrameType().String(); s == "" || s[0] == 'T' {
+			t.Errorf("missing String for %d", f.FrameType())
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Error("unknown type String")
+	}
+	if LinkRF.String() != "rf" || LinkLaser.String() != "laser" || LinkTech(9).String() != "unknown" {
+		t.Error("LinkTech strings")
+	}
+}

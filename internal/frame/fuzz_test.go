@@ -1,0 +1,74 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the decoder with arbitrary bytes. Run with
+// `go test -fuzz=FuzzDecode ./internal/frame/` for continuous fuzzing; the
+// seed corpus (valid frames and adversarial variants) runs in every normal
+// test invocation.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		wire, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+		// Adversarial seeds: truncations and bit flips of valid frames.
+		f.Add(wire[:len(wire)/2])
+		mut := bytes.Clone(wire)
+		mut[len(mut)/2] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err != nil {
+			return // rejecting garbage is correct
+		}
+		if fr == nil {
+			t.Fatal("nil frame with nil error")
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Anything that decodes must re-encode to an equivalent frame.
+		wire, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		again, _, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if again.FrameType() != fr.FrameType() {
+			t.Fatalf("type changed across round trip")
+		}
+	})
+}
+
+// FuzzCertificateTransport does the same for the auth certificate container
+// carried inside AuthResult frames.
+func FuzzStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, fr := range sampleFrames() {
+		if err := w.WriteFrame(fr); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ { // bounded: garbage cannot loop forever
+			if _, err := r.ReadFrame(); err != nil {
+				return
+			}
+		}
+	})
+}

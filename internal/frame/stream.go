@@ -1,0 +1,73 @@
+package frame
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Writer serialises frames onto a byte stream (an ISL or ground link's
+// reliable transport). Frames are self-delimiting, so no extra framing is
+// needed. Not safe for concurrent use.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter wraps a stream.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame encodes and writes one frame.
+func (w *Writer) WriteFrame(f Frame) error {
+	wire, err := Encode(f)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(wire); err != nil {
+		return fmt.Errorf("frame: writing %v: %w", f.FrameType(), err)
+	}
+	return nil
+}
+
+// Reader decodes a stream of frames produced by Writer. It validates
+// checksums and types exactly like Decode; a corrupted frame poisons the
+// stream (the transport below is assumed reliable, so corruption means a
+// protocol bug or an attack, not noise to resynchronise from).
+// Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader wraps a stream.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// ReadFrame reads and decodes the next frame. io.EOF is returned at a clean
+// end of stream; io.ErrUnexpectedEOF if the stream ends mid-frame.
+func (r *Reader) ReadFrame() (Frame, error) {
+	header := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r.r, header); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	if binary.LittleEndian.Uint16(header[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	plen := int(binary.LittleEndian.Uint32(header[4:8]))
+	if plen > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	total := HeaderLen + plen + ChecksumLen
+	if cap(r.buf) < total {
+		r.buf = make([]byte, total)
+	}
+	buf := r.buf[:total]
+	copy(buf, header)
+	if _, err := io.ReadFull(r.r, buf[HeaderLen:]); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	f, _, err := Decode(buf)
+	return f, err
+}

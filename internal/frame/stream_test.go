@@ -1,0 +1,107 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatalf("write %v: %v", f.FrameType(), err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d mismatch:\n%+v\n%+v", i, want, got)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Errorf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestStreamTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(&Ack{FlowID: 1, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Ending mid-header and mid-body both yield ErrUnexpectedEOF.
+	for _, cut := range []int{HeaderLen - 2, len(full) - 1} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: %v, want unexpected EOF", cut, err)
+		}
+	}
+}
+
+func TestStreamCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame(&Ack{FlowID: 1, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	full := bytes.Clone(buf.Bytes())
+	// Corrupt magic.
+	bad := bytes.Clone(full)
+	bad[0] ^= 0xFF
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Corrupt payload → checksum failure.
+	bad = bytes.Clone(full)
+	bad[HeaderLen] ^= 0x01
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupt payload: %v", err)
+	}
+	// Oversized declared length rejected before allocation.
+	bad = bytes.Clone(full)
+	bad[4], bad[5], bad[6], bad[7] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := NewReader(bytes.NewReader(bad)).ReadFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized: %v", err)
+	}
+}
+
+func TestStreamOverPipe(t *testing.T) {
+	// The reader works over a real pipe, interleaved with writes — the
+	// shape of an actual ISL byte stream.
+	pr, pw := io.Pipe()
+	go func() {
+		w := NewWriter(pw)
+		for _, f := range sampleFrames() {
+			if err := w.WriteFrame(f); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	r := NewReader(pr)
+	n := 0
+	for {
+		_, err := r.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", n, err)
+		}
+		n++
+	}
+	if n != len(sampleFrames()) {
+		t.Errorf("read %d frames, want %d", n, len(sampleFrames()))
+	}
+}

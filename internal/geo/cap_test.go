@@ -1,0 +1,223 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFootprintAngularRadius(t *testing.T) {
+	// Zero altitude → zero footprint.
+	if got := FootprintAngularRadius(0, 0); got != 0 {
+		t.Errorf("zero-altitude footprint = %v", got)
+	}
+	// Iridium-like: 780 km, 0° mask → acos(Re/(Re+h)) ≈ 0.4658 rad (26.7°).
+	got := FootprintAngularRadius(780, 0)
+	want := math.Acos(EarthRadiusKm / (EarthRadiusKm + 780))
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("780 km footprint = %v, want %v", got, want)
+	}
+	// Raising the elevation mask strictly shrinks the footprint.
+	prev := got
+	for _, el := range []float64{5, 10, 25, 40, 60} {
+		r := FootprintAngularRadius(780, el)
+		if r >= prev {
+			t.Fatalf("footprint did not shrink with elevation mask %v: %v >= %v", el, r, prev)
+		}
+		prev = r
+	}
+	// Higher altitude strictly grows the footprint at fixed mask.
+	prev = 0
+	for _, h := range []float64{300, 550, 780, 1200, 35786} {
+		r := FootprintAngularRadius(h, 10)
+		if r <= prev {
+			t.Fatalf("footprint did not grow with altitude %v", h)
+		}
+		prev = r
+	}
+}
+
+func TestSlantRange(t *testing.T) {
+	// At 90° elevation the slant range equals the altitude.
+	if got := SlantRangeKm(780, 90); !almostEqual(got, 780, 1e-6) {
+		t.Errorf("zenith slant range = %v, want 780", got)
+	}
+	// Slant range grows as elevation drops.
+	prev := 0.0
+	for _, el := range []float64{90, 60, 30, 10, 5, 0} {
+		d := SlantRangeKm(780, el)
+		if d < prev {
+			t.Fatalf("slant range decreased at elevation %v", el)
+		}
+		prev = d
+	}
+	// Horizon slant range for h=780: sqrt((Re+h)² − Re²) ≈ 3294 km.
+	want := math.Sqrt(math.Pow(EarthRadiusKm+780, 2) - EarthRadiusKm*EarthRadiusKm)
+	if got := SlantRangeKm(780, 0); !almostEqual(got, want, 1e-6) {
+		t.Errorf("horizon slant range = %v, want %v", got, want)
+	}
+}
+
+func TestCapArea(t *testing.T) {
+	// Hemisphere.
+	h := Cap{Center: LatLon{90, 0}, AngularRadius: math.Pi / 2}
+	if got := h.AreaKm2(); !almostEqual(got, EarthSurfaceAreaKm2/2, 1) {
+		t.Errorf("hemisphere area = %v, want %v", got, EarthSurfaceAreaKm2/2)
+	}
+	// Full sphere.
+	f := Cap{AngularRadius: math.Pi}
+	if got := f.AreaKm2(); !almostEqual(got, EarthSurfaceAreaKm2, 1) {
+		t.Errorf("full-sphere area = %v", got)
+	}
+	// Zero cap.
+	if got := (Cap{}).AreaKm2(); got != 0 {
+		t.Errorf("zero cap area = %v", got)
+	}
+}
+
+func TestCapContains(t *testing.T) {
+	c := Cap{Center: LatLon{0, 0}, AngularRadius: Radians(10)}
+	if !c.Contains(LatLon{0, 0}) || !c.Contains(LatLon{9.99, 0}) {
+		t.Error("cap should contain its centre and interior points")
+	}
+	if c.Contains(LatLon{10.01, 0}) || c.Contains(LatLon{0, 60}) {
+		t.Error("cap should not contain exterior points")
+	}
+}
+
+func TestCapOverlaps(t *testing.T) {
+	a := Cap{Center: LatLon{0, 0}, AngularRadius: Radians(10)}
+	b := Cap{Center: LatLon{0, 15}, AngularRadius: Radians(10)}
+	c := Cap{Center: LatLon{0, 25}, AngularRadius: Radians(4)}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c do not overlap")
+	}
+	if !b.Overlaps(c) {
+		t.Error("b and c overlap")
+	}
+}
+
+func TestFibonacciGrid(t *testing.T) {
+	if got := FibonacciGrid(0); got != nil {
+		t.Error("empty grid for n<=0")
+	}
+	n := 5000
+	grid := FibonacciGrid(n)
+	if len(grid) != n {
+		t.Fatalf("grid size = %d", len(grid))
+	}
+	for i, p := range grid {
+		if !p.Valid() {
+			t.Fatalf("grid point %d invalid: %v", i, p)
+		}
+	}
+	// Uniformity check: each hemisphere holds ~half the points.
+	north := 0
+	for _, p := range grid {
+		if p.Lat > 0 {
+			north++
+		}
+	}
+	if north < n*45/100 || north > n*55/100 {
+		t.Errorf("northern hemisphere has %d of %d points; grid not uniform", north, n)
+	}
+	// Determinism.
+	again := FibonacciGrid(n)
+	for i := range grid {
+		if grid[i] != again[i] {
+			t.Fatal("FibonacciGrid is not deterministic")
+		}
+	}
+}
+
+func TestExactCoverageFraction(t *testing.T) {
+	if got := ExactCoverageFraction(nil, 1000); got != 0 {
+		t.Errorf("no caps → coverage %v", got)
+	}
+	// A full-sphere cap covers everything.
+	full := []Cap{{AngularRadius: math.Pi}}
+	if got := ExactCoverageFraction(full, 1000); got != 1 {
+		t.Errorf("full sphere coverage = %v", got)
+	}
+	// A hemisphere covers half, within sampling error.
+	hemi := []Cap{{Center: LatLon{90, 0}, AngularRadius: math.Pi / 2}}
+	if got := ExactCoverageFraction(hemi, 20000); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("hemisphere coverage = %v, want ~0.5", got)
+	}
+	// Two disjoint caps add up.
+	two := []Cap{
+		{Center: LatLon{90, 0}, AngularRadius: Radians(20)},
+		{Center: LatLon{-90, 0}, AngularRadius: Radians(20)},
+	}
+	single := ExactCoverageFraction(two[:1], 20000)
+	both := ExactCoverageFraction(two, 20000)
+	if math.Abs(both-2*single) > 0.01 {
+		t.Errorf("disjoint caps: single=%v both=%v, want both≈2·single", single, both)
+	}
+}
+
+func TestWorstCaseCoverageFraction(t *testing.T) {
+	if got := WorstCaseCoverageFraction(nil); got != 0 {
+		t.Errorf("no caps → %v", got)
+	}
+	r := FootprintAngularRadius(780, 0)
+	capAt := func(p LatLon) Cap { return Cap{Center: p, AngularRadius: r} }
+	one := WorstCaseCoverageFraction([]Cap{capAt(LatLon{0, 0})})
+	wantOne := capAt(LatLon{0, 0}).AreaKm2() / EarthSurfaceAreaKm2
+	if !almostEqual(one, wantOne, 1e-12) {
+		t.Errorf("single cap coverage = %v, want %v", one, wantOne)
+	}
+	// Two fully overlapping satellites count once (the paper's rule).
+	twoSame := WorstCaseCoverageFraction([]Cap{capAt(LatLon{0, 0}), capAt(LatLon{0, 1})})
+	if !almostEqual(twoSame, one, 1e-12) {
+		t.Errorf("overlapping pair coverage = %v, want %v", twoSame, one)
+	}
+	// Two antipodal satellites count twice.
+	twoFar := WorstCaseCoverageFraction([]Cap{capAt(LatLon{0, 0}), capAt(LatLon{0, 180})})
+	if !almostEqual(twoFar, 2*one, 1e-12) {
+		t.Errorf("disjoint pair coverage = %v, want %v", twoFar, 2*one)
+	}
+	// A chain a–b–c where only neighbours overlap: (a,b) collapse to one
+	// cap, c stands alone → two caps' worth of coverage.
+	chain := []Cap{capAt(LatLon{0, 0}), capAt(LatLon{0, 40}), capAt(LatLon{0, 80})}
+	if got := WorstCaseCoverageFraction(chain); !almostEqual(got, 2*one, 1e-12) {
+		t.Errorf("chain coverage = %v, want %v (pair + single)", got, 2*one)
+	}
+	// Four co-located satellites collapse into two pairs.
+	four := []Cap{capAt(LatLon{0, 0}), capAt(LatLon{0, 1}), capAt(LatLon{0, 2}), capAt(LatLon{0, 3})}
+	if got := WorstCaseCoverageFraction(four); !almostEqual(got, 2*one, 1e-12) {
+		t.Errorf("four co-located coverage = %v, want %v", got, 2*one)
+	}
+}
+
+func TestWorstCaseBounds(t *testing.T) {
+	// The paper's rule always lies between one cap's area (everything
+	// pairs down) and the plain sum of areas (nothing overlaps), capped at 1.
+	f := func(seeds []LatLon) bool {
+		if len(seeds) == 0 || len(seeds) > 20 {
+			return true
+		}
+		r := FootprintAngularRadius(780, 10)
+		caps := make([]Cap, len(seeds))
+		var sum, largest float64
+		for i, s := range seeds {
+			caps[i] = Cap{Center: s.Normalize(), AngularRadius: r}
+			a := caps[i].AreaKm2()
+			sum += a
+			if a > largest {
+				largest = a
+			}
+		}
+		wc := WorstCaseCoverageFraction(caps)
+		lo := math.Min(1, largest/EarthSurfaceAreaKm2)
+		hi := math.Min(1, sum/EarthSurfaceAreaKm2)
+		// A pair never reports more than the plain sum, and at least half.
+		return wc >= lo-1e-12 && wc <= hi+1e-12 && wc >= hi/2-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

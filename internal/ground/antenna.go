@@ -1,0 +1,97 @@
+package ground
+
+import (
+	"errors"
+	"sort"
+)
+
+// AntennaAssignment maps each accepted pass to an antenna index.
+type AntennaAssignment struct {
+	Pass    Pass
+	Antenna int
+}
+
+// AntennaSchedule is the outcome of scheduling a pass plan onto a station's
+// dishes: a gateway has finitely many antennas, and overlapping passes
+// compete for them — the capacity constraint behind the
+// ground-station-as-a-service pricing of §2.1 (a fully booked station is
+// what drives visitor surcharges and §5(2)'s re-routing to idle stations).
+type AntennaSchedule struct {
+	Assignments []AntennaAssignment
+	Dropped     []Pass // passes no antenna could take
+}
+
+// Utilization returns tracked time divided by (antennas × window).
+func (s *AntennaSchedule) Utilization(antennas int, windowS float64) float64 {
+	if antennas <= 0 || windowS <= 0 {
+		return 0
+	}
+	var tracked float64
+	for _, a := range s.Assignments {
+		tracked += a.Pass.DurationS()
+	}
+	return tracked / (float64(antennas) * windowS)
+}
+
+// ScheduleAntennas assigns passes (as from PassSchedule, rise-sorted or
+// not) to antennas. Passes are considered in rise order; each takes the
+// lowest-indexed antenna free at its rise time, and passes that find no
+// free antenna are dropped — the online greedy that real gateways run.
+// With k antennas, any instant has at most k tracked passes.
+func ScheduleAntennas(passes []Pass, antennas int) (*AntennaSchedule, error) {
+	if antennas <= 0 {
+		return nil, errors.New("ground: at least one antenna required")
+	}
+	sorted := append([]Pass(nil), passes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].RiseS != sorted[j].RiseS {
+			return sorted[i].RiseS < sorted[j].RiseS
+		}
+		return sorted[i].SatelliteID < sorted[j].SatelliteID
+	})
+	freeAt := make([]float64, antennas) // time each antenna becomes free
+	out := &AntennaSchedule{}
+	for _, p := range sorted {
+		assigned := -1
+		for a := 0; a < antennas; a++ {
+			if freeAt[a] <= p.RiseS {
+				assigned = a
+				break
+			}
+		}
+		if assigned < 0 {
+			out.Dropped = append(out.Dropped, p)
+			continue
+		}
+		freeAt[assigned] = p.SetS
+		out.Assignments = append(out.Assignments, AntennaAssignment{Pass: p, Antenna: assigned})
+	}
+	return out, nil
+}
+
+// MinAntennasFor returns the smallest antenna count that tracks every pass
+// — the peak number of simultaneous passes (computed by sweep).
+func MinAntennasFor(passes []Pass) int {
+	type ev struct {
+		t     float64
+		delta int
+	}
+	var evs []ev
+	for _, p := range passes {
+		evs = append(evs, ev{p.RiseS, 1}, ev{p.SetS, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta // sets before rises at the same t
+	})
+	cur, peak := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

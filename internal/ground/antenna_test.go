@@ -1,0 +1,112 @@
+package ground
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+func mkPass(id string, rise, set float64) Pass {
+	return Pass{SatelliteID: id, RiseS: rise, SetS: set}
+}
+
+func TestScheduleAntennasBasic(t *testing.T) {
+	passes := []Pass{
+		mkPass("a", 0, 100),
+		mkPass("b", 50, 150),  // overlaps a
+		mkPass("c", 120, 200), // fits after a on antenna 0
+	}
+	s, err := ScheduleAntennas(passes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dropped) != 0 {
+		t.Fatalf("dropped: %+v", s.Dropped)
+	}
+	got := map[string]int{}
+	for _, a := range s.Assignments {
+		got[a.Pass.SatelliteID] = a.Antenna
+	}
+	if got["a"] != 0 || got["b"] != 1 || got["c"] != 0 {
+		t.Errorf("assignments = %v", got)
+	}
+	// One antenna: the overlapping pass drops.
+	s, err = ScheduleAntennas(passes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dropped) != 1 || s.Dropped[0].SatelliteID != "b" {
+		t.Errorf("dropped = %+v, want b", s.Dropped)
+	}
+}
+
+func TestScheduleAntennasNoInstantOverbooking(t *testing.T) {
+	// Whatever the input, at no instant may more passes be tracked than
+	// antennas exist.
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := PassSchedule(geo.LatLon{Lat: 47.6, Lon: -122.3}, c.Satellites, 0, 7200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const antennas = 2
+	s, err := ScheduleAntennas(passes, antennas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-antenna passes must not overlap.
+	byAntenna := map[int][]Pass{}
+	for _, a := range s.Assignments {
+		byAntenna[a.Antenna] = append(byAntenna[a.Antenna], a.Pass)
+	}
+	for ant, ps := range byAntenna {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].RiseS < ps[i-1].SetS {
+				t.Fatalf("antenna %d double-booked: %+v then %+v", ant, ps[i-1], ps[i])
+			}
+		}
+	}
+	if len(s.Assignments)+len(s.Dropped) != len(passes) {
+		t.Error("schedule does not partition the passes")
+	}
+	// Utilization is a sane fraction.
+	if u := s.Utilization(antennas, 7200); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+	if s.Utilization(0, 7200) != 0 || s.Utilization(2, 0) != 0 {
+		t.Error("degenerate utilization should be 0")
+	}
+}
+
+func TestMinAntennasFor(t *testing.T) {
+	if got := MinAntennasFor(nil); got != 0 {
+		t.Errorf("empty = %d", got)
+	}
+	// Three mutually overlapping passes need 3.
+	passes := []Pass{mkPass("a", 0, 100), mkPass("b", 10, 110), mkPass("c", 20, 120)}
+	if got := MinAntennasFor(passes); got != 3 {
+		t.Errorf("triple overlap = %d, want 3", got)
+	}
+	// Back-to-back passes need 1 (set before rise at equal t).
+	seq := []Pass{mkPass("a", 0, 100), mkPass("b", 100, 200)}
+	if got := MinAntennasFor(seq); got != 1 {
+		t.Errorf("sequential = %d, want 1", got)
+	}
+	// Scheduling with the computed minimum drops nothing.
+	s, err := ScheduleAntennas(passes, MinAntennasFor(passes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Dropped) != 0 {
+		t.Errorf("minimum antennas still dropped %v", s.Dropped)
+	}
+}
+
+func TestScheduleAntennasValidation(t *testing.T) {
+	if _, err := ScheduleAntennas(nil, 0); err == nil {
+		t.Error("zero antennas should fail")
+	}
+}

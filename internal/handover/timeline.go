@@ -1,0 +1,166 @@
+package handover
+
+import (
+	"fmt"
+)
+
+// Event is one handover in a timeline.
+type Event struct {
+	AtS           float64
+	From, To      string
+	CrossProvider bool
+	InterruptionS float64
+}
+
+// Timeline is the result of simulating one user's session over a horizon.
+type Timeline struct {
+	Events             []Event
+	TotalInterruptionS float64
+	OutageS            float64 // time with no satellite visible at all
+	HandoverCount      int
+	CrossProviderCount int
+}
+
+// PredictiveCosts parameterises the fast path: the only interruption is
+// establishing the new session with the pre-announced successor.
+type PredictiveCosts struct {
+	SessionSetupS float64 // one round trip to the successor plus processing
+}
+
+// DefaultPredictiveCosts uses a 50 ms session setup — two ~8 ms LEO hops
+// plus processing, consistent with the paper's latency scale.
+func DefaultPredictiveCosts() PredictiveCosts {
+	return PredictiveCosts{SessionSetupS: 0.05}
+}
+
+// ReauthCosts parameterises the baseline where every satellite change
+// repeats discovery and authentication.
+type ReauthCosts struct {
+	DetectS  float64 // time to notice loss of signal (beacon timeout)
+	ScanS    float64 // beacon collection window
+	AuthRTTS float64 // RADIUS exchange with the home ISP over ISLs
+}
+
+// DefaultReauthCosts models a 1 s beacon timeout, a 2 s scan window and a
+// 600 ms three-message authentication over multi-hop ISLs.
+func DefaultReauthCosts() ReauthCosts {
+	return ReauthCosts{DetectS: 1, ScanS: 2, AuthRTTS: 0.6}
+}
+
+// Interruption returns the total service gap per re-association.
+func (c ReauthCosts) Interruption() float64 { return c.DetectS + c.ScanS + c.AuthRTTS }
+
+// SimulatePredictive runs the OpenSpace scheme over [startS, startS+horizonS]:
+// the serving satellite is chosen at start, each set time is known in
+// advance, and the pre-picked successor takes over with only session setup
+// as interruption.
+func (p *Predictor) SimulatePredictive(startS, horizonS float64, costs PredictiveCosts) (*Timeline, error) {
+	return p.simulate(startS, horizonS, func(ev *Event) {
+		ev.InterruptionS = costs.SessionSetupS
+	})
+}
+
+// SimulateReauth runs the baseline: each satellite change pays full
+// detection, scan and re-authentication.
+func (p *Predictor) SimulateReauth(startS, horizonS float64, costs ReauthCosts) (*Timeline, error) {
+	return p.simulate(startS, horizonS, func(ev *Event) {
+		ev.InterruptionS = costs.Interruption()
+	})
+}
+
+// simulate walks serving intervals; charge sets each event's interruption.
+func (p *Predictor) simulate(startS, horizonS float64, charge func(*Event)) (*Timeline, error) {
+	if horizonS <= 0 {
+		return nil, fmt.Errorf("handover: horizon %.1f must be positive", horizonS)
+	}
+	end := startS + horizonS
+	tl := &Timeline{}
+	t := startS
+
+	serving, ok := p.Best(t)
+	for !ok {
+		// No satellite visible: outage until one rises.
+		next := p.nextVisibleTime(t, end)
+		if next >= end {
+			tl.OutageS += end - t
+			return tl, nil
+		}
+		tl.OutageS += next - t
+		t = next
+		serving, ok = p.Best(t)
+	}
+
+	for t < end {
+		setTime := p.VisibleUntil(serving.ID, t, end-t)
+		if setTime >= end {
+			break
+		}
+		succ, found := p.PickSuccessor(serving.ID, setTime, end-setTime)
+		if !found {
+			// Coverage gap: outage until any satellite rises again.
+			next := p.nextVisibleTime(setTime, end)
+			tl.OutageS += next - setTime
+			if next >= end {
+				break
+			}
+			t = next
+			var okNow bool
+			serving, okNow = p.Best(t)
+			if !okNow {
+				break
+			}
+			continue
+		}
+		ev := Event{
+			AtS:           setTime,
+			From:          serving.ID,
+			To:            succ.ID,
+			CrossProvider: serving.Provider != succ.Provider,
+		}
+		charge(&ev)
+		tl.Events = append(tl.Events, ev)
+		tl.TotalInterruptionS += ev.InterruptionS
+		tl.HandoverCount++
+		if ev.CrossProvider {
+			tl.CrossProviderCount++
+		}
+		serving = succ
+		t = setTime + ev.InterruptionS
+	}
+	return tl, nil
+}
+
+// nextVisibleTime scans forward for the first time any satellite is visible,
+// returning end if none rises before then.
+func (p *Predictor) nextVisibleTime(t, end float64) float64 {
+	for cur := t; cur < end; cur += p.scanStepS {
+		for i := range p.sats {
+			if p.visible(i, cur) {
+				// Refine backwards to the rise instant.
+				lo, hi := cur-p.scanStepS, cur
+				if lo < t {
+					lo = t
+				}
+				for hi-lo > 0.01 {
+					mid := (lo + hi) / 2
+					if p.anyVisible(mid) {
+						hi = mid
+					} else {
+						lo = mid
+					}
+				}
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return end
+}
+
+func (p *Predictor) anyVisible(t float64) bool {
+	for i := range p.sats {
+		if p.visible(i, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,405 @@
+// Package isl implements OpenSpace's inter-satellite link establishment
+// protocol (§2.1 of the paper):
+//
+//   - Every satellite periodically broadcasts a Beacon over its
+//     omnidirectional RF antenna — "RF antennas are capable of broadcasting,
+//     which is ideal when the exact position of antennas is not known
+//     beforehand".
+//   - On hearing a beacon from a useful neighbour, a satellite initiates
+//     pairing with a PairRequest carrying its technical specifications
+//     (laser support, boresight axis, spare bandwidth).
+//   - The responder accepts or rejects based on range, power budget and
+//     bandwidth, negotiating the link technology: laser when both ends have
+//     terminals, spare bandwidth, and are within optical range; RF otherwise
+//     (the mandated minimum).
+//   - Laser links are directional, so after acceptance both spacecraft slew
+//     to point their terminals and run pointing/acquisition/tracking before
+//     the link carries data; RF links are usable immediately.
+//
+// The Manager type is one satellite's side of the protocol. Everything is
+// driven by explicit times (seconds since epoch), so simulations are
+// deterministic.
+package isl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/frame"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+// Config describes one satellite's ISL hardware and policy.
+type Config struct {
+	SatelliteID string
+	ProviderID  string
+	Elements    orbit.Elements
+	RF          phy.RFTerminal     // mandatory in OpenSpace
+	Laser       *phy.LaserTerminal // optional upgrade
+	Slew        phy.SlewModel
+	// MaxActiveISLs caps simultaneous links (power constraint, §2.2:
+	// "satellites may have power consumption constraints that limit the
+	// number of ISLs they can establish"). 0 means unlimited.
+	MaxActiveISLs int
+	// MaxCommitBps caps total bandwidth committed across ISLs. 0 = unlimited.
+	MaxCommitBps float64
+	// VerifyBeacon, when set, authenticates incoming beacons before they
+	// are trusted (security.VerifyBeacon bound to a trust store). Spoofed
+	// or unsigned beacons are ignored — §5(6)'s defence against phantom
+	// satellites luring ISL pairings.
+	VerifyBeacon func(*frame.Beacon) error
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SatelliteID == "" || c.ProviderID == "" {
+		return errors.New("isl: satellite and provider IDs required")
+	}
+	if err := c.Elements.Validate(); err != nil {
+		return err
+	}
+	if err := c.RF.Validate(); err != nil {
+		return err
+	}
+	if c.Laser != nil {
+		if err := c.Laser.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MaxActiveISLs < 0 || c.MaxCommitBps < 0 {
+		return errors.New("isl: budgets must be non-negative")
+	}
+	return nil
+}
+
+// LinkState is the lifecycle state of an ISL.
+type LinkState int
+
+// Link states.
+const (
+	StateAligning LinkState = iota // slewing / PAT in progress (laser)
+	StateActive
+	StateDropped
+)
+
+// String implements fmt.Stringer.
+func (s LinkState) String() string {
+	switch s {
+	case StateAligning:
+		return "aligning"
+	case StateActive:
+		return "active"
+	case StateDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("LinkState(%d)", int(s))
+	}
+}
+
+// Link is one established (or establishing) ISL from this satellite's
+// perspective.
+type Link struct {
+	PeerID         string
+	PeerProvider   string
+	Tech           frame.LinkTech
+	CommittedBps   float64
+	EstablishedAtS float64 // when the handshake completed
+	ActiveAtS      float64 // when data can flow (after slew+PAT for laser)
+	SlewEnergyJ    float64 // energy spent aligning
+}
+
+// Active reports whether the link carries data at time t.
+func (l *Link) Active(t float64) bool { return t >= l.ActiveAtS }
+
+// Manager is one satellite's ISL protocol endpoint.
+type Manager struct {
+	cfg       Config
+	caps      frame.Capability
+	neighbors map[string]frame.Beacon // last beacon heard per satellite
+	links     map[string]*Link
+	committed float64
+	energyJ   float64 // cumulative slew energy
+}
+
+// New creates a manager.
+func New(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	caps := frame.CapRF
+	if cfg.Laser != nil {
+		caps |= frame.CapLaser
+	}
+	return &Manager{
+		cfg:       cfg,
+		caps:      caps,
+		neighbors: make(map[string]frame.Beacon),
+		links:     make(map[string]*Link),
+	}, nil
+}
+
+// ID returns the satellite's identifier.
+func (m *Manager) ID() string { return m.cfg.SatelliteID }
+
+// Capabilities returns the satellite's advertised link capabilities.
+func (m *Manager) Capabilities() frame.Capability { return m.caps }
+
+// SlewEnergyJ returns the cumulative energy spent on link alignment.
+func (m *Manager) SlewEnergyJ() float64 { return m.energyJ }
+
+// Position returns the satellite's ECEF position at t.
+func (m *Manager) Position(t float64) geo.Vec3 { return m.cfg.Elements.PositionECEF(t) }
+
+// Beacon builds this satellite's presence broadcast at time t.
+func (m *Manager) Beacon(t float64) *frame.Beacon {
+	e := m.cfg.Elements
+	return &frame.Beacon{
+		SatelliteID: m.cfg.SatelliteID,
+		ProviderID:  m.cfg.ProviderID,
+		Caps:        m.caps,
+		Orbit: frame.OrbitalState{
+			SemiMajorAxisKm: e.SemiMajorAxisKm,
+			Eccentricity:    e.Eccentricity,
+			InclinationDeg:  e.InclinationDeg,
+			RAANDeg:         e.RAANDeg,
+			ArgPerigeeDeg:   e.ArgPerigeeDeg,
+			MeanAnomalyDeg:  e.MeanAnomalyDeg,
+		},
+		LoadFraction: m.loadFraction(),
+		SentAtS:      t,
+	}
+}
+
+func (m *Manager) loadFraction() float64 {
+	if m.cfg.MaxCommitBps <= 0 {
+		return 0
+	}
+	return m.committed / m.cfg.MaxCommitBps
+}
+
+// elementsOf reconstructs propagatable elements from a beacon's orbit.
+func elementsOf(b frame.Beacon) orbit.Elements {
+	return orbit.Elements{
+		SemiMajorAxisKm: b.Orbit.SemiMajorAxisKm,
+		Eccentricity:    b.Orbit.Eccentricity,
+		InclinationDeg:  b.Orbit.InclinationDeg,
+		RAANDeg:         b.Orbit.RAANDeg,
+		ArgPerigeeDeg:   b.Orbit.ArgPerigeeDeg,
+		MeanAnomalyDeg:  b.Orbit.MeanAnomalyDeg,
+	}
+}
+
+// HandleBeacon records a neighbour sighting. It returns true when the
+// manager wants to initiate pairing with the sender — in RF range, budget
+// available, and no link already in place. Beacons from self are ignored.
+func (m *Manager) HandleBeacon(b *frame.Beacon, t float64) bool {
+	if b.SatelliteID == m.cfg.SatelliteID {
+		return false
+	}
+	if m.cfg.VerifyBeacon != nil && m.cfg.VerifyBeacon(b) != nil {
+		return false
+	}
+	m.neighbors[b.SatelliteID] = *b
+	if _, linked := m.links[b.SatelliteID]; linked {
+		return false
+	}
+	if !m.budgetAvailable(0) {
+		return false
+	}
+	inRange, _ := m.feasibleTech(elementsOf(*b), b.Caps, t)
+	return inRange
+}
+
+// feasibleTech determines whether a link to the peer is geometrically
+// possible at t and, if so, the best technology both ends support.
+func (m *Manager) feasibleTech(peer orbit.Elements, peerCaps frame.Capability, t float64) (bool, frame.LinkTech) {
+	a := m.Position(t)
+	b := peer.PositionECEF(t)
+	d := a.DistanceKm(b)
+	if !geo.LineOfSight(a, b) {
+		return false, 0
+	}
+	if m.cfg.Laser != nil && peerCaps.Has(frame.CapLaser) {
+		if m.cfg.Laser.Budget(d).Closed {
+			return true, frame.LinkLaser
+		}
+	}
+	if m.cfg.RF.Budget(d, 0).Closed {
+		return true, frame.LinkRF
+	}
+	return false, 0
+}
+
+func (m *Manager) budgetAvailable(extraBps float64) bool {
+	if m.cfg.MaxActiveISLs > 0 && len(m.links) >= m.cfg.MaxActiveISLs {
+		return false
+	}
+	if m.cfg.MaxCommitBps > 0 && m.committed+extraBps > m.cfg.MaxCommitBps {
+		return false
+	}
+	return true
+}
+
+// NewPairRequest builds the pairing request to a neighbour whose beacon was
+// heard. requestedBps is the bandwidth the caller wants on the link.
+func (m *Manager) NewPairRequest(peerID string, requestedBps, t float64) (*frame.PairRequest, error) {
+	if _, ok := m.neighbors[peerID]; !ok {
+		return nil, fmt.Errorf("isl: no beacon heard from %q", peerID)
+	}
+	req := &frame.PairRequest{
+		FromID:       m.cfg.SatelliteID,
+		ToID:         peerID,
+		Caps:         m.caps,
+		RequestedBps: requestedBps,
+		AvailableBps: m.spareBps(),
+	}
+	if m.cfg.Laser != nil {
+		// Advertise the boresight axis: the direction to the peer at t,
+		// letting the peer compute pointing for beamforming.
+		axis := m.boresightTo(elementsOf(m.neighbors[peerID]), t)
+		req.LaserAxisX, req.LaserAxisY, req.LaserAxisZ = axis.X, axis.Y, axis.Z
+	}
+	return req, nil
+}
+
+func (m *Manager) spareBps() float64 {
+	if m.cfg.MaxCommitBps <= 0 {
+		return math.Inf(1)
+	}
+	return m.cfg.MaxCommitBps - m.committed
+}
+
+func (m *Manager) boresightTo(peer orbit.Elements, t float64) geo.Vec3 {
+	return peer.PositionECEF(t).Sub(m.Position(t)).Unit()
+}
+
+// HandlePairRequest processes a peer's pairing request at time t and
+// returns the response. On acceptance the responder's side of the link is
+// created immediately (aligning if laser).
+func (m *Manager) HandlePairRequest(req *frame.PairRequest, t float64) *frame.PairResponse {
+	resp := &frame.PairResponse{FromID: m.cfg.SatelliteID, ToID: req.FromID}
+	nb, known := m.neighbors[req.FromID]
+	if !known {
+		resp.Reason = "no beacon heard from requester"
+		return resp
+	}
+	if _, linked := m.links[req.FromID]; linked {
+		resp.Reason = "already paired"
+		return resp
+	}
+	grantBps := req.RequestedBps
+	if spare := m.spareBps(); grantBps > spare {
+		grantBps = spare
+	}
+	if grantBps <= 0 || !m.budgetAvailable(grantBps) {
+		resp.Reason = "power or bandwidth budget exhausted"
+		return resp
+	}
+	ok, tech := m.feasibleTech(elementsOf(nb), req.Caps, t)
+	if !ok {
+		resp.Reason = "peer out of range"
+		return resp
+	}
+	// Laser needs both ends' consent via capabilities; tech already
+	// accounts for ours and theirs.
+	resp.Accept = true
+	resp.Tech = tech
+	resp.CommittedBps = grantBps
+	m.installLink(req.FromID, nb.ProviderID, tech, grantBps, elementsOf(nb), t)
+	return resp
+}
+
+// HandlePairResponse completes the handshake on the initiator side.
+func (m *Manager) HandlePairResponse(resp *frame.PairResponse, t float64) (*Link, error) {
+	if !resp.Accept {
+		return nil, fmt.Errorf("isl: pairing rejected by %s: %s", resp.FromID, resp.Reason)
+	}
+	nb, known := m.neighbors[resp.FromID]
+	if !known {
+		return nil, fmt.Errorf("isl: response from unknown peer %q", resp.FromID)
+	}
+	if !m.budgetAvailable(resp.CommittedBps) {
+		return nil, errors.New("isl: local budget exhausted before completion")
+	}
+	return m.installLink(resp.FromID, nb.ProviderID, resp.Tech, resp.CommittedBps, elementsOf(nb), t), nil
+}
+
+// installLink creates the local half of a link.
+func (m *Manager) installLink(peerID, peerProvider string, tech frame.LinkTech, bps float64, peer orbit.Elements, t float64) *Link {
+	l := &Link{
+		PeerID:         peerID,
+		PeerProvider:   peerProvider,
+		Tech:           tech,
+		CommittedBps:   bps,
+		EstablishedAtS: t,
+		ActiveAtS:      t,
+	}
+	if tech == frame.LinkLaser && m.cfg.Laser != nil {
+		// Slew to point the terminal, then acquire. The slew angle is the
+		// angle between the along-track axis (assumed stow orientation) and
+		// the direction to the peer.
+		angle := geo.Degrees(m.velocityDir(t).AngleBetween(m.boresightTo(peer, t)))
+		slew := m.cfg.Slew.SlewTime(angle).Seconds()
+		acquire := m.cfg.Laser.AcquireTime().Seconds()
+		l.ActiveAtS = t + slew + acquire
+		l.SlewEnergyJ = m.cfg.Slew.SlewEnergyJ(angle)
+		m.energyJ += l.SlewEnergyJ
+	}
+	m.links[peerID] = l
+	m.committed += bps
+	return l
+}
+
+// velocityDir returns the satellite's ECEF velocity direction at t,
+// approximated by finite differencing (exact enough for slew geometry).
+func (m *Manager) velocityDir(t float64) geo.Vec3 {
+	const dt = 0.5
+	return m.cfg.Elements.PositionECEF(t + dt).Sub(m.cfg.Elements.PositionECEF(t - dt)).Unit()
+}
+
+// Link returns the link to peerID, if any.
+func (m *Manager) Link(peerID string) (*Link, bool) {
+	l, ok := m.links[peerID]
+	return l, ok
+}
+
+// Links returns all links in deterministic order.
+func (m *Manager) Links() []*Link {
+	ids := make([]string, 0, len(m.links))
+	for id := range m.links {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Link, len(ids))
+	for i, id := range ids {
+		out[i] = m.links[id]
+	}
+	return out
+}
+
+// Prune drops links whose peers are out of range or behind the Earth at t,
+// returning the dropped peer IDs. Bandwidth budgets are released.
+func (m *Manager) Prune(t float64) []string {
+	var dropped []string
+	for id, l := range m.links {
+		nb, ok := m.neighbors[id]
+		if !ok {
+			continue
+		}
+		alive, _ := m.feasibleTech(elementsOf(nb), nb.Caps, t)
+		if !alive {
+			m.committed -= l.CommittedBps
+			if m.committed < 0 {
+				m.committed = 0
+			}
+			delete(m.links, id)
+			dropped = append(dropped, id)
+		}
+	}
+	sort.Strings(dropped)
+	return dropped
+}

@@ -1,0 +1,339 @@
+package isl
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/frame"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+// neighbors returns managers for two adjacent satellites in the same
+// Iridium plane (constant ~3.7° separation, always in RF range).
+func neighbors(t *testing.T, laserA, laserB bool) (*Manager, *Manager) {
+	t.Helper()
+	mk := func(id, provider string, ma float64, laser bool) *Manager {
+		cfg := Config{
+			SatelliteID: id,
+			ProviderID:  provider,
+			Elements:    orbit.Circular(780, 86.4, 0, ma),
+			RF:          phy.StandardSBand(),
+			Slew:        phy.DefaultSlew(),
+		}
+		if laser {
+			l := phy.ConLCT80()
+			cfg.Laser = &l
+		}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	return mk("sat-a", "acme", 0, laserA), mk("sat-b", "orbitco", 32.7, laserB)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{
+		SatelliteID: "s", ProviderID: "p",
+		Elements: orbit.Circular(780, 86.4, 0, 0),
+		RF:       phy.StandardSBand(),
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.SatelliteID = "" },
+		func(c *Config) { c.ProviderID = "" },
+		func(c *Config) { c.Elements = orbit.Elements{} },
+		func(c *Config) { c.RF.TxPowerW = 0 },
+		func(c *Config) { bad := phy.ConLCT80(); bad.TxPowerW = 0; c.Laser = &bad },
+		func(c *Config) { c.MaxActiveISLs = -1 },
+		func(c *Config) { c.MaxCommitBps = -1 },
+	}
+	for i, mutate := range cases {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestBeaconContents(t *testing.T) {
+	a, _ := neighbors(t, true, false)
+	b := a.Beacon(42)
+	if b.SatelliteID != "sat-a" || b.ProviderID != "acme" {
+		t.Errorf("beacon identity wrong: %+v", b)
+	}
+	if !b.Caps.Has(frame.CapRF) || !b.Caps.Has(frame.CapLaser) {
+		t.Errorf("beacon caps wrong: %v", b.Caps)
+	}
+	if b.Orbit.SemiMajorAxisKm != 7151 {
+		t.Errorf("beacon orbit wrong: %+v", b.Orbit)
+	}
+	if b.SentAtS != 42 {
+		t.Errorf("beacon time wrong: %v", b.SentAtS)
+	}
+}
+
+func TestHandleBeaconWantsToPair(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	if !a.HandleBeacon(b.Beacon(0), 0) {
+		t.Error("in-range neighbour should trigger pairing")
+	}
+	// Own beacon ignored.
+	if a.HandleBeacon(a.Beacon(0), 0) {
+		t.Error("own beacon must be ignored")
+	}
+}
+
+func TestFullRFHandshake(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	la, lb, err := EstablishOverWire(a, b, 10e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Tech != frame.LinkRF || lb.Tech != frame.LinkRF {
+		t.Errorf("tech = %v/%v, want rf", la.Tech, lb.Tech)
+	}
+	if la.CommittedBps != 10e6 || lb.CommittedBps != 10e6 {
+		t.Errorf("committed %v/%v", la.CommittedBps, lb.CommittedBps)
+	}
+	// RF links are active immediately.
+	if !la.Active(100) || !lb.Active(100) {
+		t.Error("RF link should be active at establishment")
+	}
+	if la.PeerID != "sat-b" || lb.PeerID != "sat-a" {
+		t.Errorf("peer IDs wrong: %v/%v", la.PeerID, lb.PeerID)
+	}
+	if la.PeerProvider != "orbitco" || lb.PeerProvider != "acme" {
+		t.Errorf("peer providers wrong: %v/%v", la.PeerProvider, lb.PeerProvider)
+	}
+}
+
+func TestLaserNegotiation(t *testing.T) {
+	// Both laser-capable → laser link with alignment delay.
+	a, b := neighbors(t, true, true)
+	la, lb, err := EstablishOverWire(a, b, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Tech != frame.LinkLaser || lb.Tech != frame.LinkLaser {
+		t.Fatalf("tech = %v/%v, want laser", la.Tech, lb.Tech)
+	}
+	if la.Active(0) {
+		t.Error("laser link cannot be active before slew+PAT")
+	}
+	if la.ActiveAtS <= la.EstablishedAtS {
+		t.Error("laser activation must be delayed")
+	}
+	if !la.Active(la.ActiveAtS + 1) {
+		t.Error("laser link should become active")
+	}
+	if la.SlewEnergyJ <= 0 || a.SlewEnergyJ() != la.SlewEnergyJ {
+		t.Errorf("slew energy accounting wrong: %v vs %v", la.SlewEnergyJ, a.SlewEnergyJ())
+	}
+
+	// Mixed capability → RF (the mandated fallback).
+	c, d := neighbors(t, true, false)
+	lc, _, err := EstablishOverWire(c, d, 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Tech != frame.LinkRF {
+		t.Errorf("mixed-capability pair negotiated %v, want rf", lc.Tech)
+	}
+}
+
+func TestPairRequestUnknownPeer(t *testing.T) {
+	a, _ := neighbors(t, false, false)
+	if _, err := a.NewPairRequest("stranger", 1e6, 0); err == nil {
+		t.Error("pair request to unheard peer should fail")
+	}
+}
+
+func TestHandlePairRequestRejections(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	// Request from a peer whose beacon was never heard.
+	req := &frame.PairRequest{FromID: "stranger", ToID: b.ID(), Caps: frame.CapRF, RequestedBps: 1}
+	resp := b.HandlePairRequest(req, 0)
+	if resp.Accept || !strings.Contains(resp.Reason, "no beacon") {
+		t.Errorf("stranger should be rejected: %+v", resp)
+	}
+	// Duplicate pairing.
+	if _, _, err := EstablishOverWire(a, b, 1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	req2, err := a.NewPairRequest(b.ID(), 1e6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := b.HandlePairRequest(req2, 1)
+	if resp2.Accept || !strings.Contains(resp2.Reason, "already paired") {
+		t.Errorf("duplicate pairing should be rejected: %+v", resp2)
+	}
+}
+
+func TestPowerBudgetLimitsISLs(t *testing.T) {
+	// A satellite with MaxActiveISLs=1 accepts one link then rejects.
+	mk := func(id string, ma float64, maxISLs int) *Manager {
+		m, err := New(Config{
+			SatelliteID: id, ProviderID: "p",
+			Elements:      orbit.Circular(780, 86.4, 0, ma),
+			RF:            phy.StandardSBand(),
+			MaxActiveISLs: maxISLs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	hub := mk("hub", 0, 1)
+	s1 := mk("s1", 32.7, 0)
+	s2 := mk("s2", 327.3, 0) // the neighbour on the other side
+	if _, _, err := EstablishOverWire(s1, hub, 1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := EstablishOverWire(s2, hub, 1e6, 0); err == nil {
+		t.Error("second ISL should exceed the hub's power budget")
+	}
+	// HandleBeacon must also decline initiating when budget is exhausted.
+	if hub.HandleBeacon(s2.Beacon(0), 0) {
+		t.Error("budget-exhausted satellite should not initiate pairing")
+	}
+}
+
+func TestBandwidthBudget(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	b.cfg.MaxCommitBps = 5e6
+	la, _, err := EstablishOverWire(a, b, 20e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Responder grants only its spare bandwidth.
+	if la.CommittedBps != 5e6 {
+		t.Errorf("granted %v, want clamped 5e6", la.CommittedBps)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	mk := func(id string, lonDeg float64) *Manager {
+		m, err := New(Config{
+			SatelliteID: id, ProviderID: "p",
+			Elements: orbit.Circular(780, 0, 0, lonDeg),
+			RF:       phy.StandardSBand(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mk("near", 0)
+	far := mk("far", 180) // antipodal: blocked by the Earth
+	a.HandleBeacon(far.Beacon(0), 0)
+	far.HandleBeacon(a.Beacon(0), 0)
+	req, err := a.NewPairRequest("far", 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := far.HandlePairRequest(req, 0)
+	if resp.Accept {
+		t.Error("antipodal satellites must not pair")
+	}
+	if !strings.Contains(resp.Reason, "out of range") {
+		t.Errorf("reason = %q", resp.Reason)
+	}
+	// HandleBeacon must not want to pair either.
+	if a.HandleBeacon(far.Beacon(0), 0) {
+		t.Error("should not want to pair with blocked satellite")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	// Two satellites in different planes drift out of range; Prune drops
+	// the link and frees budget.
+	mk := func(id string, raan float64) *Manager {
+		m, err := New(Config{
+			SatelliteID: id, ProviderID: "p",
+			Elements:     orbit.Circular(780, 86.4, raan, 0),
+			RF:           phy.StandardSBand(),
+			MaxCommitBps: 10e6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a := mk("a", 0)
+	b := mk("b", 30)
+	if _, _, err := EstablishOverWire(a, b, 10e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := a.Prune(0); len(dropped) != 0 {
+		t.Errorf("prune at establishment dropped %v", dropped)
+	}
+	// Find a time when they are out of range (opposite sides of orbit).
+	period := a.cfg.Elements.PeriodS()
+	var when float64 = -1
+	for tt := 0.0; tt < period; tt += period / 200 {
+		if d := a.Position(tt).DistanceKm(b.Position(tt)); d > 12000 {
+			when = tt
+			break
+		}
+	}
+	if when < 0 {
+		t.Skip("satellites never separate far enough in this geometry")
+	}
+	dropped := a.Prune(when)
+	if len(dropped) != 1 || dropped[0] != "b" {
+		t.Fatalf("prune dropped %v, want [b]", dropped)
+	}
+	if _, ok := a.Link("b"); ok {
+		t.Error("link still present after prune")
+	}
+	// Budget released: a new link request fits again.
+	if !a.HandleBeacon(b.Beacon(0), 0) {
+		t.Error("budget not released after prune")
+	}
+}
+
+func TestLinksDeterministicOrder(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	if _, _, err := EstablishOverWire(a, b, 1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	ls := a.Links()
+	if len(ls) != 1 || ls[0].PeerID != "sat-b" {
+		t.Errorf("links = %v", ls)
+	}
+	if StateAligning.String() != "aligning" || StateActive.String() != "active" ||
+		StateDropped.String() != "dropped" || LinkState(9).String() == "" {
+		t.Error("LinkState strings")
+	}
+}
+
+func TestBeaconVerificationGate(t *testing.T) {
+	a, b := neighbors(t, false, false)
+	// Enforce verification on a: every beacon is rejected by a failing
+	// verifier, accepted by a passing one.
+	rejected := 0
+	a.cfg.VerifyBeacon = func(*frame.Beacon) error {
+		rejected++
+		return frame.ErrBadField // any error means spoofed
+	}
+	if a.HandleBeacon(b.Beacon(0), 0) {
+		t.Error("unverified beacon should not trigger pairing")
+	}
+	if _, known := a.neighbors["sat-b"]; known {
+		t.Error("rejected beacon must not be recorded")
+	}
+	if rejected != 1 {
+		t.Errorf("verifier invoked %d times", rejected)
+	}
+	a.cfg.VerifyBeacon = func(*frame.Beacon) error { return nil }
+	if !a.HandleBeacon(b.Beacon(0), 0) {
+		t.Error("verified beacon should trigger pairing")
+	}
+}

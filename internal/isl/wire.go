@@ -1,0 +1,59 @@
+package isl
+
+import (
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/frame"
+)
+
+// EstablishOverWire runs the full pairing handshake between two managers
+// through encoded frames — beacon exchange, pair request, pair response —
+// proving that the wire protocol alone is sufficient for two independently
+// implemented satellites to pair (the interoperability the paper demands).
+// It returns the initiator's and responder's link halves.
+func EstablishOverWire(initiator, responder *Manager, requestedBps, t float64) (*Link, *Link, error) {
+	// Both sides broadcast beacons; each hears the other.
+	for _, hop := range []struct{ from, to *Manager }{
+		{responder, initiator},
+		{initiator, responder},
+	} {
+		wire, err := frame.Encode(hop.from.Beacon(t))
+		if err != nil {
+			return nil, nil, fmt.Errorf("isl: encoding beacon: %w", err)
+		}
+		decoded, _, err := frame.Decode(wire)
+		if err != nil {
+			return nil, nil, fmt.Errorf("isl: decoding beacon: %w", err)
+		}
+		hop.to.HandleBeacon(decoded.(*frame.Beacon), t)
+	}
+
+	req, err := initiator.NewPairRequest(responder.ID(), requestedBps, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	wire, err := frame.Encode(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isl: encoding pair request: %w", err)
+	}
+	decodedReq, _, err := frame.Decode(wire)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isl: decoding pair request: %w", err)
+	}
+	resp := responder.HandlePairRequest(decodedReq.(*frame.PairRequest), t)
+
+	wire, err = frame.Encode(resp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isl: encoding pair response: %w", err)
+	}
+	decodedResp, _, err := frame.Decode(wire)
+	if err != nil {
+		return nil, nil, fmt.Errorf("isl: decoding pair response: %w", err)
+	}
+	il, err := initiator.HandlePairResponse(decodedResp.(*frame.PairResponse), t)
+	if err != nil {
+		return nil, nil, err
+	}
+	rl, _ := responder.Link(initiator.ID())
+	return il, rl, nil
+}

@@ -1,0 +1,123 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ALOHAConfig parameterises slotted ALOHA — the original satellite MAC and
+// the simplest possible contention scheme: transmit in the next slot after
+// arrival, retransmit after a random backoff on collision. Included as the
+// historical baseline under CSMA/CA and TDMA: its theoretical capacity is
+// 1/e ≈ 0.368 of the channel, which the simulation reproduces.
+type ALOHAConfig struct {
+	Stations       int
+	SlotTime       time.Duration // one packet = one slot
+	PerStationRate float64       // packet arrivals per second per station
+	MaxBackoff     int           // retransmission delay uniform in [1, MaxBackoff]
+	MaxRetries     int
+}
+
+// DefaultALOHA returns a slotted-ALOHA configuration with 20 ms packet
+// slots (matching DefaultCSMA's data airtime).
+func DefaultALOHA(stations int, perStationRate float64) ALOHAConfig {
+	return ALOHAConfig{
+		Stations:       stations,
+		SlotTime:       20 * time.Millisecond,
+		PerStationRate: perStationRate,
+		MaxBackoff:     16,
+		MaxRetries:     15,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ALOHAConfig) Validate() error {
+	if c.Stations <= 0 {
+		return fmt.Errorf("mac: aloha: stations %d must be positive", c.Stations)
+	}
+	if c.SlotTime <= 0 {
+		return fmt.Errorf("mac: aloha: slot time must be positive")
+	}
+	if c.MaxBackoff <= 0 {
+		return fmt.Errorf("mac: aloha: backoff must be positive")
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("mac: aloha: retries must be non-negative")
+	}
+	return nil
+}
+
+// RunALOHA simulates the channel for the given duration. Deterministic for
+// a fixed seed.
+func RunALOHA(cfg ALOHAConfig, duration time.Duration, seed int64) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	slots := int(duration / cfg.SlotTime)
+	rng := rand.New(rand.NewSource(seed))
+	arrivals := bernoulliArrivals(cfg.Stations, slots, cfg.PerStationRate, cfg.SlotTime, rng)
+
+	type station struct {
+		queue   []int // arrival slots
+		sendAt  int   // earliest slot the HOL packet may transmit
+		retries int
+	}
+	stations := make([]station, cfg.Stations)
+	next := make([]int, cfg.Stations)
+
+	var st Stats
+	var delays []int
+	success := 0
+
+	for t := 0; t < slots; t++ {
+		for s := range stations {
+			for next[s] < len(arrivals[s]) && arrivals[s][next[s]] == t {
+				if len(stations[s].queue) == 0 {
+					stations[s].sendAt = t // fresh HOL packet sends now
+				}
+				stations[s].queue = append(stations[s].queue, t)
+				next[s]++
+				st.Offered++
+			}
+		}
+		var transmitters []int
+		for s := range stations {
+			if len(stations[s].queue) > 0 && stations[s].sendAt <= t {
+				transmitters = append(transmitters, s)
+			}
+		}
+		switch {
+		case len(transmitters) == 1:
+			s := transmitters[0]
+			st.Attempts++
+			st.Delivered++
+			success++
+			delays = append(delays, t+1-stations[s].queue[0])
+			stations[s].queue = stations[s].queue[1:]
+			stations[s].retries = 0
+			stations[s].sendAt = t + 1
+		case len(transmitters) > 1:
+			for _, s := range transmitters {
+				st.Attempts++
+				st.Collisions++
+				stations[s].retries++
+				if stations[s].retries > cfg.MaxRetries {
+					stations[s].queue = stations[s].queue[1:]
+					stations[s].retries = 0
+					stations[s].sendAt = t + 1
+					continue
+				}
+				stations[s].sendAt = t + 1 + rng.Intn(cfg.MaxBackoff)
+			}
+		}
+	}
+	delayStats(&st, delays, cfg.SlotTime)
+	if slots > 0 {
+		st.Utilization = float64(success) / float64(slots)
+	}
+	if st.Attempts > 0 {
+		st.OverheadFrac = float64(st.Collisions) / float64(st.Attempts)
+	}
+	return st, nil
+}

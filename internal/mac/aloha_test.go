@@ -1,0 +1,82 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestALOHAValidate(t *testing.T) {
+	bad := []ALOHAConfig{
+		{},
+		{Stations: 0, SlotTime: time.Millisecond, MaxBackoff: 4},
+		{Stations: 2, SlotTime: 0, MaxBackoff: 4},
+		{Stations: 2, SlotTime: time.Millisecond, MaxBackoff: 0},
+		{Stations: 2, SlotTime: time.Millisecond, MaxBackoff: 4, MaxRetries: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if err := DefaultALOHA(4, 1).Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func TestALOHALightLoadDelivers(t *testing.T) {
+	st, err := RunALOHA(DefaultALOHA(4, 0.5), time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 {
+		t.Fatal("no traffic")
+	}
+	if float64(st.Delivered) < 0.9*float64(st.Offered) {
+		t.Errorf("light load delivery %d/%d", st.Delivered, st.Offered)
+	}
+}
+
+func TestALOHADeterministic(t *testing.T) {
+	cfg := DefaultALOHA(8, 2)
+	a, _ := RunALOHA(cfg, 30*time.Second, 5)
+	b, _ := RunALOHA(cfg, 30*time.Second, 5)
+	if a != b {
+		t.Error("not deterministic for fixed seed")
+	}
+}
+
+func TestALOHAThroughputCeiling(t *testing.T) {
+	// Slotted ALOHA's theoretical maximum throughput is 1/e ≈ 0.368.
+	// Drive the channel well past saturation and check utilisation stays
+	// in the right neighbourhood — above 0.2 (it is achieving something)
+	// and below 0.45 (it cannot beat the theory).
+	cfg := DefaultALOHA(20, 5) // offered load ≈ 2 packets/slot
+	st, err := RunALOHA(cfg, 2*time.Minute, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Utilization < 0.15 || st.Utilization > 0.45 {
+		t.Errorf("saturated ALOHA utilization %v, want ~0.2-0.37", st.Utilization)
+	}
+	// Collisions dominate attempts at saturation.
+	if st.Collisions == 0 {
+		t.Error("saturated channel should collide")
+	}
+}
+
+func TestALOHAWorseThanTDMAUnderLoad(t *testing.T) {
+	// ALOHA's utilisation ceiling is far below TDMA's at the same offered
+	// load — the reason coordinated schemes exist.
+	stations, rate := 20, 5.0
+	al, err := RunALOHA(DefaultALOHA(stations, rate), time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := RunTDMA(DefaultTDMA(stations, rate), time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Utilization >= td.Utilization {
+		t.Errorf("ALOHA %v should trail TDMA %v under load", al.Utilization, td.Utilization)
+	}
+}

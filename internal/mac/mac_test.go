@@ -1,0 +1,165 @@
+package mac
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCSMAValidate(t *testing.T) {
+	bad := []CSMAConfig{
+		{},
+		{Stations: -1, SlotTime: time.Millisecond, CWMin: 16, CWMax: 1024, DataSlots: 10},
+		{Stations: 4, SlotTime: 0, CWMin: 16, CWMax: 1024, DataSlots: 10},
+		{Stations: 4, SlotTime: time.Millisecond, CWMin: 0, CWMax: 1024, DataSlots: 10},
+		{Stations: 4, SlotTime: time.Millisecond, CWMin: 32, CWMax: 16, DataSlots: 10},
+		{Stations: 4, SlotTime: time.Millisecond, CWMin: 16, CWMax: 1024, DataSlots: 0},
+		{Stations: 4, SlotTime: time.Millisecond, CWMin: 16, CWMax: 1024, DataSlots: 10, MaxRetries: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if err := DefaultCSMA(8, 2).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestRunCSMABasic(t *testing.T) {
+	cfg := DefaultCSMA(4, 1) // light load
+	st, err := RunCSMA(cfg, time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 {
+		t.Fatal("no packets offered")
+	}
+	// At light load nearly everything is delivered.
+	if float64(st.Delivered) < 0.9*float64(st.Offered) {
+		t.Errorf("delivered %d of %d at light load", st.Delivered, st.Offered)
+	}
+	if st.MeanAccessDelay <= 0 || st.P95AccessDelay < st.MeanAccessDelay {
+		t.Errorf("delay stats inconsistent: %v", st)
+	}
+	if st.MaxAccessDelay < st.P95AccessDelay {
+		t.Errorf("max < p95: %v", st)
+	}
+}
+
+func TestRunCSMADeterministic(t *testing.T) {
+	cfg := DefaultCSMA(6, 3)
+	a, err := RunCSMA(cfg, 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCSMA(cfg, 30*time.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different stats:\n%v\n%v", a, b)
+	}
+	c, err := RunCSMA(cfg, 30*time.Second, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical stats")
+	}
+}
+
+func TestCSMACollisionsGrowWithLoad(t *testing.T) {
+	light, err := RunCSMA(DefaultCSMA(4, 0.5), time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunCSMA(DefaultCSMA(30, 4), time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightRate := float64(light.Collisions) / float64(light.Attempts+1)
+	heavyRate := float64(heavy.Collisions) / float64(heavy.Attempts+1)
+	if heavyRate <= lightRate {
+		t.Errorf("collision rate should grow with load: light %v, heavy %v", lightRate, heavyRate)
+	}
+	if heavy.MeanAccessDelay <= light.MeanAccessDelay {
+		t.Errorf("delay should grow with load: light %v, heavy %v",
+			light.MeanAccessDelay, heavy.MeanAccessDelay)
+	}
+}
+
+func TestCSMAInvalidConfigRejected(t *testing.T) {
+	if _, err := RunCSMA(CSMAConfig{}, time.Second, 1); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestTDMAValidate(t *testing.T) {
+	bad := []TDMAConfig{
+		{},
+		{Stations: 0, SlotTime: time.Millisecond},
+		{Stations: 4, SlotTime: 0},
+		{Stations: 4, SlotTime: time.Millisecond, GuardSlots: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestRunTDMANoCollisions(t *testing.T) {
+	cfg := DefaultTDMA(8, 2)
+	st, err := RunTDMA(cfg, time.Minute, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Collisions != 0 {
+		t.Errorf("TDMA cannot collide, got %d", st.Collisions)
+	}
+	if st.Offered == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic: %v", st)
+	}
+	if float64(st.Delivered) < 0.9*float64(st.Offered) {
+		t.Errorf("TDMA at light load should deliver nearly all: %v", st)
+	}
+}
+
+func TestRunTDMADeterministic(t *testing.T) {
+	cfg := DefaultTDMA(5, 1)
+	a, _ := RunTDMA(cfg, 30*time.Second, 2)
+	b, _ := RunTDMA(cfg, 30*time.Second, 2)
+	if a != b {
+		t.Error("TDMA not deterministic for fixed seed")
+	}
+}
+
+func TestCSMAOverheadExceedsTDMA(t *testing.T) {
+	// The paper's cited finding: CSMA/CA pays IFS + backoff overhead that a
+	// coordinated scheme does not. At moderate load with several stations,
+	// CSMA/CA access delay must exceed TDMA's.
+	stations, rate := 12, 2.0
+	csma, err := RunCSMA(DefaultCSMA(stations, rate), time.Minute, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdma, err := RunTDMA(DefaultTDMA(stations, rate), time.Minute, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csma.OverheadFrac <= tdma.OverheadFrac {
+		t.Errorf("CSMA overhead %v should exceed TDMA %v", csma.OverheadFrac, tdma.OverheadFrac)
+	}
+}
+
+func TestTDMAGuardOverhead(t *testing.T) {
+	cfg := DefaultTDMA(4, 5)
+	cfg.GuardSlots = 1
+	st, err := RunTDMA(cfg, time.Minute, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OverheadFrac != 0.5 {
+		t.Errorf("1 guard per data slot → overhead 0.5, got %v", st.OverheadFrac)
+	}
+}

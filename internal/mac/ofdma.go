@@ -1,0 +1,113 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OFDMA models the satellite→ground downlink scheduler: a single satellite
+// divides its channel into subchannels and assigns them to the ground users
+// it currently serves, frame by frame. The paper (§2.1) picks OFDM for
+// satellite-to-user links because it uses spectrum efficiently while
+// minimising inter-user interference; what remains is the allocation policy,
+// implemented here.
+type OFDMA struct {
+	Subchannels   int     // parallel subchannels per frame
+	SubchannelBps float64 // capacity of one subchannel
+	FrameSeconds  float64 // frame duration
+}
+
+// DefaultOFDMA returns a 48-subchannel Ku-band downlink frame.
+func DefaultOFDMA() OFDMA {
+	return OFDMA{Subchannels: 48, SubchannelBps: 5e6, FrameSeconds: 0.010}
+}
+
+// Validate reports whether the scheduler parameters are usable.
+func (o OFDMA) Validate() error {
+	if o.Subchannels <= 0 {
+		return fmt.Errorf("mac: ofdma: subchannels %d must be positive", o.Subchannels)
+	}
+	if o.SubchannelBps <= 0 || o.FrameSeconds <= 0 {
+		return fmt.Errorf("mac: ofdma: subchannel rate and frame duration must be positive")
+	}
+	return nil
+}
+
+// Demand is one user's downlink demand for a frame.
+type Demand struct {
+	User string
+	Bits float64 // bits the user wants this frame
+}
+
+// Grant is the scheduler's allocation to one user for one frame.
+type Grant struct {
+	User        string
+	Subchannels int
+	Bits        float64 // bits actually deliverable this frame
+}
+
+// Allocate distributes the frame's subchannels across the demands using
+// max-min fairness: repeatedly grant one subchannel to the unsatisfied user
+// with the least allocation so far, until subchannels run out or every
+// demand is met. Ties break deterministically by user name, so the schedule
+// is reproducible.
+func (o OFDMA) Allocate(demands []Demand) ([]Grant, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if len(demands) == 0 {
+		return nil, nil
+	}
+	perChanBits := o.SubchannelBps * o.FrameSeconds
+	grants := make([]Grant, len(demands))
+	for i, d := range demands {
+		grants[i] = Grant{User: d.User}
+	}
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return demands[order[a]].User < demands[order[b]].User })
+
+	remaining := o.Subchannels
+	for remaining > 0 {
+		// Least-allocated unsatisfied user, in deterministic order.
+		best := -1
+		for _, i := range order {
+			if grants[i].Bits >= demands[i].Bits {
+				continue
+			}
+			if best == -1 || grants[i].Subchannels < grants[best].Subchannels {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // all demands met
+		}
+		grants[best].Subchannels++
+		grants[best].Bits += perChanBits
+		if grants[best].Bits > demands[best].Bits {
+			grants[best].Bits = demands[best].Bits
+		}
+		remaining--
+	}
+	return grants, nil
+}
+
+// JainIndex returns Jain's fairness index of the grant sizes in [1/n, 1]:
+// 1 means perfectly equal subchannel shares.
+func JainIndex(grants []Grant) float64 {
+	if len(grants) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, g := range grants {
+		x := float64(g.Subchannels)
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(grants)) * sumSq)
+}

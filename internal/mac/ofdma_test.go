@@ -1,0 +1,152 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOFDMAValidate(t *testing.T) {
+	bad := []OFDMA{
+		{},
+		{Subchannels: 0, SubchannelBps: 1e6, FrameSeconds: 0.01},
+		{Subchannels: 8, SubchannelBps: 0, FrameSeconds: 0.01},
+		{Subchannels: 8, SubchannelBps: 1e6, FrameSeconds: 0},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+	if err := DefaultOFDMA().Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func TestOFDMAEmptyAndInvalid(t *testing.T) {
+	o := DefaultOFDMA()
+	if g, err := o.Allocate(nil); err != nil || g != nil {
+		t.Errorf("empty demands → nil, nil; got %v, %v", g, err)
+	}
+	if _, err := (OFDMA{}).Allocate([]Demand{{User: "a", Bits: 1}}); err == nil {
+		t.Error("invalid scheduler should error")
+	}
+}
+
+func TestOFDMAEqualDemandsEqualShares(t *testing.T) {
+	o := OFDMA{Subchannels: 12, SubchannelBps: 1e6, FrameSeconds: 0.01}
+	demands := []Demand{
+		{User: "a", Bits: 1e9}, {User: "b", Bits: 1e9},
+		{User: "c", Bits: 1e9}, {User: "d", Bits: 1e9},
+	}
+	grants, err := o.Allocate(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range grants {
+		if g.Subchannels != 3 {
+			t.Errorf("user %s got %d subchannels, want 3", g.User, g.Subchannels)
+		}
+	}
+	if idx := JainIndex(grants); !almostEq(idx, 1, 1e-12) {
+		t.Errorf("Jain index = %v, want 1", idx)
+	}
+}
+
+func TestOFDMASmallDemandNotOverGranted(t *testing.T) {
+	o := OFDMA{Subchannels: 10, SubchannelBps: 1e6, FrameSeconds: 0.01}
+	perChan := 1e6 * 0.01 // 10_000 bits per subchannel
+	demands := []Demand{
+		{User: "small", Bits: perChan / 2}, // half a subchannel suffices
+		{User: "big", Bits: 1e9},
+	}
+	grants, err := o.Allocate(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUser := map[string]Grant{}
+	for _, g := range grants {
+		byUser[g.User] = g
+	}
+	if byUser["small"].Subchannels != 1 {
+		t.Errorf("small demand got %d subchannels, want 1", byUser["small"].Subchannels)
+	}
+	if byUser["small"].Bits != perChan/2 {
+		t.Errorf("small grant bits %v exceed demand", byUser["small"].Bits)
+	}
+	if byUser["big"].Subchannels != 9 {
+		t.Errorf("big demand got %d subchannels, want the remaining 9", byUser["big"].Subchannels)
+	}
+}
+
+func TestOFDMADeterministicTieBreak(t *testing.T) {
+	o := OFDMA{Subchannels: 3, SubchannelBps: 1e6, FrameSeconds: 0.01}
+	demands := []Demand{{User: "b", Bits: 1e9}, {User: "a", Bits: 1e9}}
+	g1, _ := o.Allocate(demands)
+	// Reversed input order must not change each user's grant.
+	g2, _ := o.Allocate([]Demand{demands[1], demands[0]})
+	byUser := func(gs []Grant) map[string]int {
+		m := map[string]int{}
+		for _, g := range gs {
+			m[g.User] = g.Subchannels
+		}
+		return m
+	}
+	m1, m2 := byUser(g1), byUser(g2)
+	for u := range m1 {
+		if m1[u] != m2[u] {
+			t.Errorf("user %s grant depends on input order: %d vs %d", u, m1[u], m2[u])
+		}
+	}
+	// The extra (odd) subchannel goes to the alphabetically first user.
+	if m1["a"] != 2 || m1["b"] != 1 {
+		t.Errorf("tie-break wrong: %v", m1)
+	}
+}
+
+func TestOFDMANeverExceedsSubchannels(t *testing.T) {
+	f := func(demandUnits []uint8) bool {
+		o := OFDMA{Subchannels: 16, SubchannelBps: 1e6, FrameSeconds: 0.01}
+		var demands []Demand
+		for i, d := range demandUnits {
+			if i >= 40 {
+				break
+			}
+			demands = append(demands, Demand{
+				User: string(rune('a' + i%26)),
+				Bits: float64(d) * 5000,
+			})
+		}
+		grants, err := o.Allocate(demands)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, g := range grants {
+			total += g.Subchannels
+			if g.Subchannels < 0 {
+				return false
+			}
+		}
+		return total <= o.Subchannels
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Error("empty grants → 0")
+	}
+	if JainIndex([]Grant{{Subchannels: 0}, {Subchannels: 0}}) != 0 {
+		t.Error("all-zero grants → 0")
+	}
+	// One user hogging everything → 1/n.
+	g := []Grant{{Subchannels: 8}, {Subchannels: 0}, {Subchannels: 0}, {Subchannels: 0}}
+	if got := JainIndex(g); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("hog Jain = %v, want 0.25", got)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,45 @@
+package orbit
+
+import "math"
+
+// SolveKepler solves Kepler's equation M = E − e·sin E for the eccentric
+// anomaly E given mean anomaly M (radians) and eccentricity e in [0, 1).
+// It uses Newton–Raphson iteration seeded with M (or π for high
+// eccentricities, which is a better starting point there), and converges to
+// 1e-12 within a handful of iterations for all practical orbits.
+func SolveKepler(meanAnomaly, eccentricity float64) (float64, error) {
+	if eccentricity == 0 {
+		return meanAnomaly, nil
+	}
+	// Wrap M into [-π, π] for a well-conditioned start, remembering the
+	// number of whole turns to add back at the end.
+	turns := math.Round(meanAnomaly / (2 * math.Pi))
+	m := meanAnomaly - turns*2*math.Pi
+
+	e := eccentricity
+	ea := m
+	if e > 0.8 {
+		ea = math.Pi * sign(m)
+		if m == 0 {
+			ea = 0
+		}
+	}
+	const tol = 1e-12
+	for i := 0; i < 50; i++ {
+		f := ea - e*math.Sin(ea) - m
+		fp := 1 - e*math.Cos(ea)
+		d := f / fp
+		ea -= d
+		if math.Abs(d) < tol {
+			return ea + turns*2*math.Pi, nil
+		}
+	}
+	return ea + turns*2*math.Pi, ErrNoConvergence
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

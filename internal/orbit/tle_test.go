@@ -1,0 +1,132 @@
+package orbit
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// The canonical ISS reference TLE (Wikipedia's worked example).
+const (
+	issLine1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+	issLine2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+)
+
+func TestParseTLEISS(t *testing.T) {
+	tle, err := ParseTLE("ISS (ZARYA)", issLine1, issLine2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tle.Name != "ISS (ZARYA)" {
+		t.Errorf("name = %q", tle.Name)
+	}
+	if tle.CatalogNum != 25544 {
+		t.Errorf("catalog = %d", tle.CatalogNum)
+	}
+	if tle.IntlDesig != "98067A" {
+		t.Errorf("intl desig = %q", tle.IntlDesig)
+	}
+	if tle.EpochYear != 2008 {
+		t.Errorf("epoch year = %d", tle.EpochYear)
+	}
+	if math.Abs(tle.EpochDay-264.51782528) > 1e-8 {
+		t.Errorf("epoch day = %v", tle.EpochDay)
+	}
+	e := tle.Elements
+	if math.Abs(e.InclinationDeg-51.6416) > 1e-4 {
+		t.Errorf("inclination = %v", e.InclinationDeg)
+	}
+	if math.Abs(e.RAANDeg-247.4627) > 1e-4 {
+		t.Errorf("raan = %v", e.RAANDeg)
+	}
+	if math.Abs(e.Eccentricity-0.0006703) > 1e-7 {
+		t.Errorf("eccentricity = %v", e.Eccentricity)
+	}
+	if math.Abs(e.ArgPerigeeDeg-130.5360) > 1e-4 {
+		t.Errorf("arg perigee = %v", e.ArgPerigeeDeg)
+	}
+	if math.Abs(e.MeanAnomalyDeg-325.0288) > 1e-4 {
+		t.Errorf("mean anomaly = %v", e.MeanAnomalyDeg)
+	}
+	// 15.72 rev/day → a ≈ 6724 km → ~350 km altitude (the ISS, 2008).
+	if alt := e.AltitudeKm(); alt < 300 || alt > 400 {
+		t.Errorf("ISS altitude = %v km, want ~350", alt)
+	}
+	// Period consistency: n rev/day ↔ period.
+	wantPeriod := 86400.0 / 15.72125391
+	if math.Abs(e.PeriodS()-wantPeriod) > 0.5 {
+		t.Errorf("period = %v, want %v", e.PeriodS(), wantPeriod)
+	}
+}
+
+func TestParseTLEErrors(t *testing.T) {
+	// Length.
+	if _, err := ParseTLE("", "short", issLine2); !errors.Is(err, ErrTLELineLength) {
+		t.Errorf("short line: %v", err)
+	}
+	// Swapped lines.
+	if _, err := ParseTLE("", issLine2, issLine1); !errors.Is(err, ErrTLELineNumber) {
+		t.Errorf("swapped lines: %v", err)
+	}
+	// Corrupted checksum digit.
+	bad := issLine1[:68] + "0"
+	if _, err := ParseTLE("", bad, issLine2); !errors.Is(err, ErrTLEChecksum) {
+		t.Errorf("bad checksum: %v", err)
+	}
+	// Corrupted field caught by checksum.
+	bad = strings.Replace(issLine2, "51.6416", "51.9416", 1)
+	if _, err := ParseTLE("", issLine1, bad); !errors.Is(err, ErrTLEChecksum) {
+		t.Errorf("corrupted field: %v", err)
+	}
+}
+
+func TestTLERoundTrip(t *testing.T) {
+	// Every Iridium satellite exports to TLE and parses back to the same
+	// orbit.
+	c, err := Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Satellites[:12] {
+		in := FromElements(s.ID, 70000+i, s.Elements)
+		l1, l2 := in.FormatTLE()
+		if len(l1) != 69 || len(l2) != 69 {
+			t.Fatalf("formatted lines %d/%d chars", len(l1), len(l2))
+		}
+		out, err := ParseTLE(s.ID, l1, l2)
+		if err != nil {
+			t.Fatalf("satellite %s: reparse: %v\n%s\n%s", s.ID, err, l1, l2)
+		}
+		eIn, eOut := in.Elements, out.Elements
+		if math.Abs(eIn.SemiMajorAxisKm-eOut.SemiMajorAxisKm) > 0.01 {
+			t.Errorf("%s: a %v → %v", s.ID, eIn.SemiMajorAxisKm, eOut.SemiMajorAxisKm)
+		}
+		if math.Abs(eIn.InclinationDeg-eOut.InclinationDeg) > 1e-4 ||
+			math.Abs(eIn.RAANDeg-eOut.RAANDeg) > 1e-4 ||
+			math.Abs(eIn.MeanAnomalyDeg-eOut.MeanAnomalyDeg) > 1e-4 {
+			t.Errorf("%s: angles drifted", s.ID)
+		}
+		// Positions agree to metres over an orbit.
+		for _, tt := range []float64{0, 1000, 5000} {
+			d := eIn.PositionECI(tt).DistanceKm(eOut.PositionECI(tt))
+			if d > 0.5 {
+				t.Errorf("%s: position differs by %v km at t=%v", s.ID, d, tt)
+			}
+		}
+		if out.CatalogNum != 70000+i {
+			t.Errorf("catalog %d → %d", 70000+i, out.CatalogNum)
+		}
+	}
+}
+
+func TestTLEChecksumRules(t *testing.T) {
+	// Digits sum, '-' counts 1, letters/spaces/periods count 0 — verified
+	// against the ISS reference lines' published check digits.
+	if got := tleChecksum(issLine1); got != 7 {
+		t.Errorf("line 1 checksum = %d, want 7", got)
+	}
+	if got := tleChecksum(issLine2); got != 7 {
+		t.Errorf("line 2 checksum = %d, want 7", got)
+	}
+}

@@ -1,0 +1,44 @@
+package phy
+
+import (
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// DopplerShiftHz returns the carrier frequency shift seen by a receiver
+// when the transmitter closes at radialVelocityKmS (positive = approaching,
+// which raises the received frequency). LEO passes sweep roughly ±7 km/s
+// of radial velocity, i.e. tens of kHz at S-band — the reason the paper
+// requires OpenSpace transceivers to "function over a wide range of
+// frequencies" (§2.1).
+func DopplerShiftHz(freqHz, radialVelocityKmS float64) float64 {
+	return freqHz * radialVelocityKmS / SpeedOfLightKmS
+}
+
+// RadialVelocityKmS returns the range rate between a ground observer and a
+// satellite at time t: negative when the range is opening (satellite
+// receding). Computed by central differencing of the slant range, exact
+// enough for Doppler planning.
+func RadialVelocityKmS(e orbit.Elements, obs geo.LatLon, t float64) float64 {
+	const dt = 0.5
+	r0 := e.PositionECEF(t - dt).DistanceKm(obs.Vec3(0))
+	r1 := e.PositionECEF(t + dt).DistanceKm(obs.Vec3(0))
+	// Closing speed is the negative range rate.
+	return -(r1 - r0) / (2 * dt)
+}
+
+// DopplerProfile samples the Doppler shift over a pass: shifts[i]
+// corresponds to startS + i·stepS. Receivers size their acquisition
+// bandwidth from the profile's extremes.
+func DopplerProfile(e orbit.Elements, obs geo.LatLon, freqHz, startS, endS, stepS float64) []float64 {
+	if stepS <= 0 || endS < startS {
+		return nil
+	}
+	n := int((endS-startS)/stepS) + 1
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := startS + float64(i)*stepS
+		out[i] = DopplerShiftHz(freqHz, RadialVelocityKmS(e, obs, t))
+	}
+	return out
+}

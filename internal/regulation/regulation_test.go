@@ -1,0 +1,187 @@
+package regulation
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+func TestBoxContains(t *testing.T) {
+	b := Box{MinLat: 10, MaxLat: 20, MinLon: -30, MaxLon: -10}
+	if !b.Contains(geo.LatLon{Lat: 15, Lon: -20}) {
+		t.Error("interior point missed")
+	}
+	for _, p := range []geo.LatLon{{Lat: 25, Lon: -20}, {Lat: 15, Lon: 0}, {Lat: 5, Lon: -20}} {
+		if b.Contains(p) {
+			t.Errorf("exterior point %v matched", p)
+		}
+	}
+	// Edges inclusive.
+	if !b.Contains(geo.LatLon{Lat: 10, Lon: -30}) || !b.Contains(geo.LatLon{Lat: 20, Lon: -10}) {
+		t.Error("boundary points should match")
+	}
+}
+
+func TestBoxValid(t *testing.T) {
+	bad := []Box{
+		{MinLat: 20, MaxLat: 10},
+		{MinLon: 20, MaxLon: 10},
+		{MinLat: -91, MaxLat: 0},
+		{MinLat: 0, MaxLat: 91},
+		{MinLon: -181, MaxLon: 0, MaxLat: 1},
+	}
+	for i, b := range bad {
+		if b.Valid() {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestNewAtlasValidation(t *testing.T) {
+	good := Box{MinLat: 0, MaxLat: 1, MinLon: 0, MaxLon: 1}
+	cases := [][]Region{
+		{{Name: "", Boxes: []Box{good}}},
+		{{Name: "a", Boxes: []Box{good}}, {Name: "a", Boxes: []Box{good}}},
+		{{Name: "a"}},
+		{{Name: "a", Boxes: []Box{{MinLat: 5, MaxLat: 1}}}},
+	}
+	for i, rs := range cases {
+		if _, err := NewAtlas(rs); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDefaultAtlasLookups(t *testing.T) {
+	a := DefaultAtlas()
+	cases := map[string]geo.LatLon{
+		"north-america": {Lat: 40.44, Lon: -79.99},  // pittsburgh
+		"south-america": {Lat: -23.55, Lon: -46.63}, // são paulo
+		"europe":        {Lat: 51.51, Lon: -0.13},   // london
+		"africa":        {Lat: -1.29, Lon: 36.82},   // nairobi
+		"asia":          {Lat: 35.68, Lon: 139.69},  // tokyo
+		"oceania":       {Lat: -33.87, Lon: 151.21}, // sydney
+	}
+	for want, p := range cases {
+		if got := a.RegionOf(p); got != want {
+			t.Errorf("RegionOf(%v) = %q, want %q", p, got, want)
+		}
+	}
+	// Mid-Pacific is unclaimed.
+	if got := a.RegionOf(geo.LatLon{Lat: -40, Lon: -140}); got != "" {
+		t.Errorf("open ocean classified as %q", got)
+	}
+	if len(a.Regions()) != 6 {
+		t.Errorf("regions = %v", a.Regions())
+	}
+}
+
+func TestPolicyResidency(t *testing.T) {
+	p := Policy{Residency: map[string][]string{
+		"europe": {"europe"},
+		"africa": {"africa", "europe"},
+	}}
+	if !p.MayDownlink("europe", "europe") {
+		t.Error("in-region downlink must be allowed")
+	}
+	if p.MayDownlink("europe", "north-america") {
+		t.Error("out-of-region downlink must be blocked")
+	}
+	if !p.MayDownlink("africa", "europe") || !p.MayDownlink("africa", "africa") {
+		t.Error("explicitly allowed regions blocked")
+	}
+	if p.MayDownlink("africa", "asia") {
+		t.Error("unlisted region allowed")
+	}
+	// Unrestricted user region and unclaimed user region.
+	if !p.MayDownlink("asia", "anywhere") {
+		t.Error("unlisted user region should be unrestricted")
+	}
+	if !p.MayDownlink("", "europe") {
+		t.Error("unclaimed user region should be unrestricted")
+	}
+}
+
+func TestPolicySpectrum(t *testing.T) {
+	p := Policy{Spectrum: map[string][]phy.Band{
+		"europe": {phy.BandKu},
+	}}
+	if !p.BandAllowed("europe", phy.BandKu) {
+		t.Error("allocated band blocked")
+	}
+	if p.BandAllowed("europe", phy.BandKa) {
+		t.Error("unallocated band allowed")
+	}
+	if !p.BandAllowed("asia", phy.BandKa) {
+		t.Error("unlisted region should allow all bands")
+	}
+	if !p.BandAllowed("", phy.BandKa) {
+		t.Error("unclaimed region should allow all bands")
+	}
+}
+
+func TestPolicyLicenses(t *testing.T) {
+	p := Policy{Licenses: map[string]map[string]bool{
+		"acme": {"europe": true},
+	}}
+	if !p.Licensed("acme", "europe") {
+		t.Error("licensed provider blocked")
+	}
+	if p.Licensed("acme", "asia") {
+		t.Error("unlicensed region allowed")
+	}
+	if p.Licensed("rival", "europe") {
+		t.Error("unknown provider licensed")
+	}
+	if !p.Licensed("rival", "") {
+		t.Error("unclaimed region requires no license")
+	}
+}
+
+func TestResidencyFilterSteersToAllowedGateway(t *testing.T) {
+	// A European user with Europe-only residency, two gateways: Seattle
+	// (nearer through the constellation) and London. The filtered path
+	// must land in London even if Seattle is otherwise optimal.
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sats := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+	}
+	users := []topo.UserSpec{{ID: "u", Provider: "p", Pos: geo.LatLon{Lat: 48.85, Lon: 2.35}}} // paris
+	grounds := []topo.GroundSpec{
+		{ID: "gs-seattle", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}},
+		{ID: "gs-london", Provider: "p", Pos: geo.LatLon{Lat: 51.51, Lon: -0.13}},
+	}
+	snap := topo.Build(0, topo.DefaultConfig(), sats, grounds, users)
+
+	atlas := DefaultAtlas()
+	policy := Policy{Residency: map[string][]string{"europe": {"europe"}}}
+	userRegion := atlas.RegionOf(geo.LatLon{Lat: 48.85, Lon: 2.35})
+	if userRegion != "europe" {
+		t.Fatalf("paris region = %q", userRegion)
+	}
+	cost := ResidencyFilter(routing.LatencyCost(0), atlas, policy, userRegion)
+
+	// Unfiltered, the Seattle gateway is reachable.
+	if _, err := routing.ShortestPath(snap, "u", "gs-seattle", routing.LatencyCost(0)); err != nil {
+		t.Fatalf("baseline seattle path: %v", err)
+	}
+	// Filtered, Seattle is unreachable but London works.
+	if _, err := routing.ShortestPath(snap, "u", "gs-seattle", cost); err == nil {
+		t.Error("residency filter should sever the Seattle downlink")
+	}
+	p, err := routing.ShortestPath(snap, "u", "gs-london", cost)
+	if err != nil {
+		t.Fatalf("london path under filter: %v", err)
+	}
+	if p.Nodes[len(p.Nodes)-1] != "gs-london" {
+		t.Errorf("path endpoint %v", p.Nodes)
+	}
+}

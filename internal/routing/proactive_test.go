@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+func testTimeExpanded(t *testing.T) *topo.TimeExpanded {
+	t.Helper()
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sats := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = topo.SatSpec{ID: s.ID, Provider: "A", Elements: s.Elements}
+	}
+	grounds := []topo.GroundSpec{{ID: "gs", Provider: "A", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}}}
+	users := []topo.UserSpec{{ID: "u", Provider: "A", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
+	te, err := topo.BuildTimeExpanded(0, 300, 60, topo.DefaultConfig(), sats, grounds, users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return te
+}
+
+func TestProactiveRouteMatchesDijkstra(t *testing.T) {
+	te := testTimeExpanded(t)
+	r := NewProactiveRouter(te, LatencyCost(0))
+	p, err := r.Route(0, "u", "gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ShortestPath(te.Snaps[0], "u", "gs", LatencyCost(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != direct.Cost {
+		t.Errorf("proactive cost %v != direct %v", p.Cost, direct.Cost)
+	}
+}
+
+func TestNextHopWalksToDestination(t *testing.T) {
+	te := testTimeExpanded(t)
+	r := NewProactiveRouter(te, LatencyCost(0))
+	// Walking next hops from the user must reach the ground station in a
+	// bounded number of steps, and the walk's cost must equal the
+	// precomputed cost.
+	at := "u"
+	steps := 0
+	for at != "gs" {
+		hop, err := r.NextHop(0, at, "gs")
+		if err != nil {
+			t.Fatalf("NextHop(%s): %v", at, err)
+		}
+		at = hop
+		if steps++; steps > 100 {
+			t.Fatal("next-hop walk does not terminate")
+		}
+	}
+	// Consistency of CostTo with the full route.
+	c, err := r.CostTo(0, "u", "gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Route(0, "u", "gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := c - p.Cost; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("CostTo %v != Route cost %v", c, p.Cost)
+	}
+	// Destination's own cost is zero.
+	if c, err := r.CostTo(0, "gs", "gs"); err != nil || c != 0 {
+		t.Errorf("self cost = %v, %v", c, err)
+	}
+}
+
+func TestNextHopChangesAcrossSnapshots(t *testing.T) {
+	te := testTimeExpanded(t)
+	r := NewProactiveRouter(te, LatencyCost(0))
+	// As the constellation rotates, the user's first hop should eventually
+	// change — the routing dynamics handovers must track.
+	h0, err := r.NextHop(0, "u", "gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for _, tt := range []float64{60, 120, 180, 240, 300} {
+		h, err := r.NextHop(tt, "u", "gs")
+		if err != nil {
+			continue
+		}
+		if h != h0 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("first hop never changed over 5 minutes of LEO motion")
+	}
+}
+
+func TestProactiveErrors(t *testing.T) {
+	te := testTimeExpanded(t)
+	r := NewProactiveRouter(te, LatencyCost(0))
+	if _, err := r.NextHop(0, "u", "ghost"); err == nil {
+		t.Error("unknown destination should error")
+	}
+	if _, err := r.Route(0, "ghost", "gs"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown src: %v", err)
+	}
+	empty := NewProactiveRouter(&topo.TimeExpanded{}, LatencyCost(0))
+	if _, err := empty.Route(0, "a", "b"); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := empty.NextHop(0, "a", "b"); err == nil {
+		t.Error("empty series NextHop should error")
+	}
+}

@@ -1,0 +1,145 @@
+package routing
+
+import (
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing cost order, using Yen's algorithm. Path diversity matters in
+// OpenSpace because the preferred path may cross a provider whose tariff or
+// load makes a slightly longer same-provider path preferable — the economics
+// layer compares alternatives produced here.
+func KShortestPaths(s *topo.Snapshot, src, dst string, cost CostFunc, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := ShortestPath(s, src, dst, cost)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prevPath := paths[len(paths)-1].Nodes
+		// For each spur node in the previous path, search for a deviation.
+		for i := 0; i < len(prevPath)-1; i++ {
+			spur := prevPath[i]
+			rootNodes := prevPath[:i+1]
+
+			// Edges to exclude: the next hop of every accepted path that
+			// shares this root.
+			banEdge := map[[2]string]bool{}
+			for _, p := range paths {
+				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
+					banEdge[[2]string{p.Nodes[i], p.Nodes[i+1]}] = true
+				}
+			}
+			// Nodes of the root (except the spur) are excluded to keep
+			// paths loopless.
+			banNode := map[string]bool{}
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				banNode[n] = true
+			}
+			restricted := func(e topo.Edge, snap *topo.Snapshot) (float64, bool) {
+				if banNode[e.To] || banNode[e.From] || banEdge[[2]string{e.From, e.To}] {
+					return 0, false
+				}
+				return cost(e, snap)
+			}
+			spurPath, err := ShortestPath(s, spur, dst, restricted)
+			if err != nil {
+				continue
+			}
+			total := joinPaths(s, rootNodes, spurPath.Nodes, cost)
+			if total != nil && !containsPath(paths, total.Nodes) && !containsPath(candidates, total.Nodes) {
+				candidates = append(candidates, *total)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Cost != candidates[b].Cost {
+				return candidates[a].Cost < candidates[b].Cost
+			}
+			return lessNodes(candidates[a].Nodes, candidates[b].Nodes)
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func equalPrefix(nodes, prefix []string) bool {
+	if len(nodes) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if nodes[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths []Path, nodes []string) bool {
+	for _, p := range paths {
+		if len(p.Nodes) != len(nodes) {
+			continue
+		}
+		same := true
+		for i := range nodes {
+			if p.Nodes[i] != nodes[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func lessNodes(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// joinPaths concatenates root (ending at the spur) with spurPath (starting
+// at the spur) and recomputes stats; returns nil if the join would loop.
+func joinPaths(s *topo.Snapshot, root, spurPath []string, cost CostFunc) *Path {
+	nodes := make([]string, 0, len(root)+len(spurPath)-1)
+	nodes = append(nodes, root...)
+	nodes = append(nodes, spurPath[1:]...)
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+	}
+	var edges []topo.Edge
+	var total float64
+	for i := 0; i+1 < len(nodes); i++ {
+		e, ok := s.Edge(nodes[i], nodes[i+1])
+		if !ok {
+			return nil
+		}
+		w, usable := cost(e, s)
+		if !usable {
+			return nil
+		}
+		total += w
+		edges = append(edges, e)
+	}
+	p := statsFromEdges(nodes, total, edges)
+	return &p
+}

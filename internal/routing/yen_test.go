@@ -1,0 +1,98 @@
+package routing
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+func TestKShortestOrderedAndDistinct(t *testing.T) {
+	s := testSnapshot(t, 1, false)
+	paths, err := KShortestPaths(s, "u-nairobi", "gs-seattle", LatencyCost(0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("got %d paths, want several in a dense mesh", len(paths))
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Cost < paths[i-1].Cost {
+			t.Errorf("paths out of order: %v then %v", paths[i-1].Cost, paths[i].Cost)
+		}
+	}
+	// Distinct node sequences, all valid and loopless.
+	seen := map[string]bool{}
+	for _, p := range paths {
+		key := ""
+		nodes := map[string]bool{}
+		for _, n := range p.Nodes {
+			key += n + "|"
+			if nodes[n] {
+				t.Fatalf("loop in path %v", p.Nodes)
+			}
+			nodes[n] = true
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p.Nodes)
+		}
+		seen[key] = true
+		if p.Nodes[0] != "u-nairobi" || p.Nodes[len(p.Nodes)-1] != "gs-seattle" {
+			t.Fatalf("bad endpoints %v", p.Nodes)
+		}
+		// Every consecutive pair must be an actual edge.
+		for i := 0; i+1 < len(p.Nodes); i++ {
+			if _, ok := s.Edge(p.Nodes[i], p.Nodes[i+1]); !ok {
+				t.Fatalf("phantom edge %s→%s", p.Nodes[i], p.Nodes[i+1])
+			}
+		}
+	}
+	// First path is the Dijkstra optimum.
+	best, err := ShortestPath(s, "u-nairobi", "gs-seattle", LatencyCost(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths[0].Cost != best.Cost {
+		t.Errorf("first path cost %v != optimum %v", paths[0].Cost, best.Cost)
+	}
+}
+
+func TestKShortestDegenerate(t *testing.T) {
+	s := testSnapshot(t, 1, false)
+	if ps, err := KShortestPaths(s, "u-nairobi", "gs-seattle", HopCost(), 0); err != nil || ps != nil {
+		t.Errorf("k=0 should be nil, nil; got %v, %v", ps, err)
+	}
+	if _, err := KShortestPaths(s, "ghost", "gs-seattle", HopCost(), 3); err == nil {
+		t.Error("unknown src should error")
+	}
+	// k=1 equals Dijkstra.
+	one, err := KShortestPaths(s, "u-nairobi", "gs-seattle", HopCost(), 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("k=1: %v, %v", one, err)
+	}
+}
+
+func TestKShortestExhaustsSmallGraph(t *testing.T) {
+	// A tiny 4-satellite chain has a limited number of simple paths; asking
+	// for more must return only what exists.
+	sats := []topo.SatSpec{}
+	for i := 0; i < 4; i++ {
+		sats = append(sats, topo.SatSpec{
+			ID: string(rune('a' + i)), Provider: "P",
+			Elements: orbit.Circular(780, 86.4, 0, float64(i)*9),
+		})
+	}
+	users := []topo.UserSpec{{ID: "u", Provider: "P", Pos: geo.LatLon{Lat: 9, Lon: 2}}}
+	s := topo.Build(0, topo.DefaultConfig(), sats, nil, users)
+	if s.EdgeCount() == 0 {
+		t.Skip("degenerate geometry; no links formed")
+	}
+	paths, err := KShortestPaths(s, "u", "a", HopCost(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) > 40 {
+		t.Errorf("more paths than a 5-node graph can hold: %d", len(paths))
+	}
+}

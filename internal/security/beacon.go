@@ -1,0 +1,55 @@
+package security
+
+import (
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/frame"
+)
+
+// Beacon authentication errors.
+var (
+	ErrBeaconUnsigned = errors.New("security: beacon carries no auth tag")
+	ErrBeaconSig      = errors.New("security: beacon signature invalid")
+)
+
+// beaconSignedBytes returns the canonical bytes a beacon signature covers:
+// the beacon's payload encoding with an empty tag.
+func beaconSignedBytes(b *frame.Beacon) ([]byte, error) {
+	bare := *b
+	bare.AuthTag = nil
+	wire, err := frame.Encode(&bare)
+	if err != nil {
+		return nil, err
+	}
+	return wire, nil
+}
+
+// SignBeacon attaches the owning provider's signature so receivers can
+// reject spoofed presence broadcasts — §5(6)'s non-OpenSpace agents cannot
+// lure users or satellites onto phantom spacecraft.
+func SignBeacon(b *frame.Beacon, sign func([]byte) []byte) error {
+	msg, err := beaconSignedBytes(b)
+	if err != nil {
+		return err
+	}
+	b.AuthTag = sign(msg)
+	return nil
+}
+
+// VerifyBeacon checks the beacon's tag against the claimed provider's key
+// from the trust store.
+func VerifyBeacon(b *frame.Beacon, key ed25519.PublicKey) error {
+	if len(b.AuthTag) == 0 {
+		return ErrBeaconUnsigned
+	}
+	msg, err := beaconSignedBytes(b)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(key, msg, b.AuthTag) {
+		return fmt.Errorf("%w: claimed provider %q", ErrBeaconSig, b.ProviderID)
+	}
+	return nil
+}

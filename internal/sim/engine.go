@@ -1,0 +1,105 @@
+// Package sim provides the discrete-event simulation substrate for
+// OpenSpace experiments: a deterministic event engine, metric accumulators
+// (histograms/percentiles), and the workload generators that stand in for
+// the user populations and traffic patterns the paper's §5(1) notes would
+// require "extensive simulation tools not explored in this paper".
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	atS float64
+	seq uint64 // FIFO tie-break for equal times → determinism
+	fn  func(*Engine)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].atS != h[j].atS {
+		return h[i].atS < h[j].atS
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled
+// for the same instant run in scheduling order, so simulations are fully
+// deterministic.
+type Engine struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Processed counts delivered events, for loop-guard assertions.
+	Processed uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule enqueues fn at absolute time atS. Scheduling in the past is an
+// error — it would silently reorder causality.
+func (e *Engine) Schedule(atS float64, fn func(*Engine)) error {
+	if fn == nil {
+		return errors.New("sim: nil event function")
+	}
+	if atS < e.now {
+		return fmt.Errorf("sim: schedule at %.3f is before now %.3f", atS, e.now)
+	}
+	heap.Push(&e.events, event{atS: atS, seq: e.seq, fn: fn})
+	e.seq++
+	return nil
+}
+
+// After enqueues fn delayS seconds from now.
+func (e *Engine) After(delayS float64, fn func(*Engine)) error {
+	if delayS < 0 {
+		return fmt.Errorf("sim: negative delay %.3f", delayS)
+	}
+	return e.Schedule(e.now+delayS, fn)
+}
+
+// Stop halts Run after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue empties, Stop is
+// called, or the clock passes untilS (events after untilS stay queued and
+// the clock is left at untilS).
+func (e *Engine) Run(untilS float64) {
+	e.stopped = false
+	for e.events.Len() > 0 && !e.stopped {
+		next := e.events[0]
+		if next.atS > untilS {
+			e.now = untilS
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = next.atS
+		e.Processed++
+		next.fn(e)
+	}
+	if !e.stopped && e.now < untilS {
+		e.now = untilS
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }

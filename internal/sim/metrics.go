@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates float64 samples and answers summary queries.
+// The zero value is ready to use. Not safe for concurrent use (the engine
+// is single-threaded).
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (h *Histogram) Min() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 with none.
+func (h *Histogram) Max() float64 {
+	h.ensureSorted()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.samples[len(h.samples)-1]
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 with no
+// samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.ensureSorted()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Stddev returns the population standard deviation, or 0 with <2 samples.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	m := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// String implements fmt.Stringer.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g}",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Series is an ordered (x, y) sequence — one experiment curve, e.g.
+// latency vs. number of satellites for Figure 2(b).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample, with optional error bar.
+type Point struct {
+	X, Y float64
+	YErr float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y, yerr float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, YErr: yerr})
+}

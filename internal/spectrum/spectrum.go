@@ -1,0 +1,184 @@
+// Package spectrum implements downlink frequency coordination between
+// OpenSpace providers. The paper's §2 requires that disparate players have
+// "access to shared spectrum" and §5(3) notes regions differ in allocation
+// policy; within one region's allocation, satellites of *different*
+// operators must still avoid interfering at shared ground sites.
+//
+// The model: a band is divided into equal channels. Two satellites conflict
+// when some ground station sees both above its elevation mask — their
+// co-channel downlinks would collide at that station's antenna. Channel
+// assignment is then graph colouring on the conflict graph; the coordinator
+// uses the Welsh–Powell greedy order (highest conflict degree first), which
+// is deterministic and near-optimal on the disk-graph-like conflict
+// structures satellite geometry produces. Satellites that cannot be
+// coloured within the channel budget are returned unassigned — they must
+// stay silent on this band (relaying over ISLs instead) until geometry
+// changes.
+package spectrum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+// Sat is one satellite requesting a downlink channel.
+type Sat struct {
+	ID  string
+	Pos geo.Vec3 // ECEF at the coordination epoch
+}
+
+// Config parameterises one coordination round.
+type Config struct {
+	Band            phy.Band
+	Channels        int     // channels available in the band
+	MinElevationDeg float64 // ground stations' elevation mask
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("spectrum: channels %d must be positive", c.Channels)
+	}
+	if c.MinElevationDeg < 0 || c.MinElevationDeg >= 90 {
+		return fmt.Errorf("spectrum: elevation mask %.1f outside [0,90)", c.MinElevationDeg)
+	}
+	return nil
+}
+
+// Plan is the outcome of a coordination round.
+type Plan struct {
+	Band       phy.Band
+	Assignment map[string]int // satellite → channel index [0, Channels)
+	Unassigned []string       // satellites that must stay silent
+	// Conflicts is the number of conflicting satellite pairs considered.
+	Conflicts int
+}
+
+// Assign coordinates channels for the satellites against the ground sites.
+// The result is deterministic for identical inputs.
+func Assign(cfg Config, sats []Sat, stations []geo.LatLon) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for _, st := range stations {
+		if !st.Valid() {
+			return nil, fmt.Errorf("spectrum: invalid station position %v", st)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range sats {
+		if s.ID == "" {
+			return nil, errors.New("spectrum: satellite ID required")
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("spectrum: duplicate satellite %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+
+	// Conflict graph: i~j iff some station sees both above the mask.
+	n := len(sats)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	visible := make([][]bool, len(stations))
+	for si, st := range stations {
+		visible[si] = make([]bool, n)
+		for i, s := range sats {
+			visible[si][i] = geo.ElevationDeg(st, s.Pos) >= cfg.MinElevationDeg
+		}
+	}
+	conflicts := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for si := range stations {
+				if visible[si][i] && visible[si][j] {
+					adj[i][j], adj[j][i] = true, true
+					conflicts++
+					break
+				}
+			}
+		}
+	}
+
+	// Welsh–Powell: colour in order of decreasing degree (ties by ID).
+	degree := make([]int, n)
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				degree[i]++
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if degree[order[a]] != degree[order[b]] {
+			return degree[order[a]] > degree[order[b]]
+		}
+		return sats[order[a]].ID < sats[order[b]].ID
+	})
+
+	plan := &Plan{Band: cfg.Band, Assignment: make(map[string]int), Conflicts: conflicts}
+	colour := make([]int, n)
+	for i := range colour {
+		colour[i] = -1
+	}
+	for _, i := range order {
+		used := make([]bool, cfg.Channels)
+		for j := 0; j < n; j++ {
+			if adj[i][j] && colour[j] >= 0 {
+				used[colour[j]] = true
+			}
+		}
+		assigned := -1
+		for ch := 0; ch < cfg.Channels; ch++ {
+			if !used[ch] {
+				assigned = ch
+				break
+			}
+		}
+		colour[i] = assigned
+		if assigned >= 0 {
+			plan.Assignment[sats[i].ID] = assigned
+		} else {
+			plan.Unassigned = append(plan.Unassigned, sats[i].ID)
+		}
+	}
+	sort.Strings(plan.Unassigned)
+	return plan, nil
+}
+
+// Verify checks the plan's core invariant against the same inputs: no two
+// satellites visible from a common station share a channel. It returns the
+// offending pairs (empty means the plan is interference-free).
+func Verify(cfg Config, plan *Plan, sats []Sat, stations []geo.LatLon) [][2]string {
+	var bad [][2]string
+	for i := 0; i < len(sats); i++ {
+		ci, iok := plan.Assignment[sats[i].ID]
+		if !iok {
+			continue
+		}
+		for j := i + 1; j < len(sats); j++ {
+			cj, jok := plan.Assignment[sats[j].ID]
+			if !jok || ci != cj {
+				continue
+			}
+			for _, st := range stations {
+				if geo.ElevationDeg(st, sats[i].Pos) >= cfg.MinElevationDeg &&
+					geo.ElevationDeg(st, sats[j].Pos) >= cfg.MinElevationDeg {
+					bad = append(bad, [2]string{sats[i].ID, sats[j].ID})
+					break
+				}
+			}
+		}
+	}
+	return bad
+}

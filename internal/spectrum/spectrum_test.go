@@ -1,0 +1,203 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+func testConfig(channels int) Config {
+	return Config{Band: phy.BandKu, Channels: channels, MinElevationDeg: 10}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(8).Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Band: phy.BandKu, Channels: 0, MinElevationDeg: 10},
+		{Band: phy.BandKu, Channels: 4, MinElevationDeg: -1},
+		{Band: phy.BandKu, Channels: 4, MinElevationDeg: 90},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	cfg := testConfig(4)
+	if _, err := Assign(cfg, []Sat{{ID: ""}}, nil); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if _, err := Assign(cfg, []Sat{{ID: "a"}, {ID: "a"}}, nil); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if _, err := Assign(cfg, nil, []geo.LatLon{{Lat: 99}}); err == nil {
+		t.Error("bad station should fail")
+	}
+	if _, err := Assign(Config{}, nil, nil); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+// overheadCluster returns n satellites all visible from the station — a
+// fully connected conflict clique.
+func overheadCluster(n int) ([]Sat, []geo.LatLon) {
+	station := geo.LatLon{Lat: 0, Lon: 0}
+	sats := make([]Sat, n)
+	for i := range sats {
+		// Spread within ~5° of the zenith: all well above a 10° mask.
+		sats[i] = Sat{
+			ID:  string(rune('a' + i)),
+			Pos: geo.LatLon{Lat: float64(i), Lon: float64(i)}.Vec3(780),
+		}
+	}
+	return sats, []geo.LatLon{station}
+}
+
+func TestCliqueNeedsOneChannelEach(t *testing.T) {
+	sats, stations := overheadCluster(4)
+	// 4 mutually conflicting satellites, 4 channels → all assigned,
+	// pairwise distinct.
+	plan, err := Assign(testConfig(4), sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unassigned) != 0 {
+		t.Fatalf("unassigned: %v", plan.Unassigned)
+	}
+	seen := map[int]bool{}
+	for _, ch := range plan.Assignment {
+		if seen[ch] {
+			t.Fatalf("clique members share channel %d: %v", ch, plan.Assignment)
+		}
+		seen[ch] = true
+	}
+	if plan.Conflicts != 6 { // C(4,2)
+		t.Errorf("conflicts = %d, want 6", plan.Conflicts)
+	}
+	// 3 channels → someone must stay silent.
+	plan, err = Assign(testConfig(3), sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unassigned) != 1 {
+		t.Errorf("with 3 channels, unassigned = %v, want exactly 1", plan.Unassigned)
+	}
+	if bad := Verify(testConfig(3), plan, sats, stations); len(bad) != 0 {
+		t.Errorf("plan violates interference invariant: %v", bad)
+	}
+}
+
+func TestDistantSatellitesShareChannels(t *testing.T) {
+	// Satellites over different hemispheres never conflict: one channel
+	// suffices for all of them.
+	sats := []Sat{
+		{ID: "a", Pos: geo.LatLon{Lat: 0, Lon: 0}.Vec3(780)},
+		{ID: "b", Pos: geo.LatLon{Lat: 0, Lon: 180}.Vec3(780)},
+		{ID: "c", Pos: geo.LatLon{Lat: 80, Lon: 90}.Vec3(780)},
+	}
+	stations := []geo.LatLon{{Lat: 0, Lon: 0}, {Lat: 0, Lon: 180}, {Lat: 80, Lon: 90}}
+	plan, err := Assign(testConfig(1), sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unassigned) != 0 {
+		t.Errorf("non-conflicting satellites unassigned: %v", plan.Unassigned)
+	}
+	if plan.Conflicts != 0 {
+		t.Errorf("conflicts = %d, want 0", plan.Conflicts)
+	}
+}
+
+func TestAssignDeterministic(t *testing.T) {
+	sats, stations := overheadCluster(5)
+	a, err := Assign(testConfig(5), sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assign(testConfig(5), sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, ch := range a.Assignment {
+		if b.Assignment[id] != ch {
+			t.Fatalf("nondeterministic assignment for %s", id)
+		}
+	}
+}
+
+func TestIridiumCoordination(t *testing.T) {
+	// The full constellation over three shared gateways: the coordinator
+	// must produce an interference-free plan within a realistic channel
+	// budget, and the plan must verify.
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sats := make([]Sat, c.Len())
+	for i, s := range c.Satellites {
+		sats[i] = Sat{ID: s.ID, Pos: s.Elements.PositionECEF(0)}
+	}
+	stations := []geo.LatLon{
+		{Lat: 47.6, Lon: -122.3}, {Lat: 51.51, Lon: -0.13}, {Lat: -1.29, Lon: 36.82},
+	}
+	cfg := testConfig(8)
+	plan, err := Assign(cfg, sats, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unassigned) != 0 {
+		t.Errorf("8 channels should suffice for Iridium over 3 stations: %v", plan.Unassigned)
+	}
+	if bad := Verify(cfg, plan, sats, stations); len(bad) != 0 {
+		t.Errorf("interference pairs: %v", bad)
+	}
+	// Channels are actually reused (far fewer channels than satellites).
+	if len(plan.Assignment) <= cfg.Channels {
+		t.Errorf("expected reuse across %d satellites", len(plan.Assignment))
+	}
+}
+
+func TestVerifyCatchesBadPlan(t *testing.T) {
+	sats, stations := overheadCluster(2)
+	cfg := testConfig(2)
+	plan := &Plan{Assignment: map[string]int{"a": 0, "b": 0}} // forced collision
+	if bad := Verify(cfg, plan, sats, stations); len(bad) != 1 {
+		t.Errorf("bad pairs = %v, want the colliding pair", bad)
+	}
+}
+
+func TestRandomScenariosVerify(t *testing.T) {
+	// Property: every plan the coordinator produces passes Verify.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		c := orbit.RandomCircular(20, 780, rng)
+		sats := make([]Sat, c.Len())
+		for i, s := range c.Satellites {
+			sats[i] = Sat{ID: s.ID, Pos: s.Elements.PositionECEF(0)}
+		}
+		var stations []geo.LatLon
+		for k := 0; k < 4; k++ {
+			stations = append(stations, geo.LatLon{
+				Lat: rng.Float64()*140 - 70, Lon: rng.Float64()*360 - 180,
+			})
+		}
+		cfg := testConfig(1 + rng.Intn(6))
+		plan, err := Assign(cfg, sats, stations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := Verify(cfg, plan, sats, stations); len(bad) != 0 {
+			t.Fatalf("trial %d: interference pairs %v", trial, bad)
+		}
+		if len(plan.Assignment)+len(plan.Unassigned) != len(sats) {
+			t.Fatalf("trial %d: plan does not partition the fleet", trial)
+		}
+	}
+}

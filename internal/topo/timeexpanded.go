@@ -1,0 +1,55 @@
+package topo
+
+import "fmt"
+
+// TimeExpanded is a series of snapshots at a fixed cadence — the network's
+// public, precomputable evolution (§2.2). Proactive routing computes paths
+// on each snapshot ahead of time; the handover layer reads consecutive
+// snapshots to pick successors.
+type TimeExpanded struct {
+	StartS    float64
+	IntervalS float64
+	Snaps     []*Snapshot
+}
+
+// BuildTimeExpanded constructs snapshots at startS, startS+intervalS, …
+// covering [startS, startS+horizonS].
+func BuildTimeExpanded(startS, horizonS, intervalS float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) (*TimeExpanded, error) {
+	if intervalS <= 0 {
+		return nil, fmt.Errorf("topo: interval %.1f must be positive", intervalS)
+	}
+	if horizonS < 0 {
+		return nil, fmt.Errorf("topo: horizon %.1f must be non-negative", horizonS)
+	}
+	te := &TimeExpanded{StartS: startS, IntervalS: intervalS}
+	steps := int(horizonS/intervalS) + 1
+	for i := 0; i < steps; i++ {
+		t := startS + float64(i)*intervalS
+		te.Snaps = append(te.Snaps, Build(t, cfg, sats, grounds, users))
+	}
+	return te, nil
+}
+
+// At returns the snapshot in force at time t: the latest snapshot whose
+// time is ≤ t, clamped to the series bounds.
+func (te *TimeExpanded) At(t float64) *Snapshot {
+	if len(te.Snaps) == 0 {
+		return nil
+	}
+	idx := int((t - te.StartS) / te.IntervalS)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(te.Snaps) {
+		idx = len(te.Snaps) - 1
+	}
+	return te.Snaps[idx]
+}
+
+// EndS returns the time of the last snapshot.
+func (te *TimeExpanded) EndS() float64 {
+	if len(te.Snaps) == 0 {
+		return te.StartS
+	}
+	return te.Snaps[len(te.Snaps)-1].TimeS
+}

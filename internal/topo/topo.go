@@ -1,0 +1,317 @@
+// Package topo builds the time-varying network topology of an OpenSpace
+// deployment: graph snapshots whose nodes are satellites, ground stations
+// and users, and whose edges are the feasible links at an instant.
+//
+// The paper's central routing observation (§2.2) is that because orbits are
+// public and predictable, "all firms that contribute satellites to OpenSpace
+// have a full public view of the topology of the entire network, including
+// how it is likely to evolve over time". A TimeExpanded series of snapshots
+// is the concrete form of that view: every provider can compute the same
+// one from public orbital elements, which is what makes proactive routing
+// and the cost model's cross-verifiable accounting possible.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+)
+
+// NodeKind distinguishes the three entity classes of a LEO network (§2):
+// ground users, satellites, and ground stations.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindSatellite NodeKind = iota
+	KindGroundStation
+	KindUser
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindSatellite:
+		return "satellite"
+	case KindGroundStation:
+		return "ground-station"
+	case KindUser:
+		return "user"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is one vertex of a snapshot.
+type Node struct {
+	ID       string
+	Kind     NodeKind
+	Provider string   // owning firm; heterogeneity-aware routing uses this
+	Pos      geo.Vec3 // ECEF at the snapshot time
+	HasLaser bool     // optical ISL capability (satellites only)
+}
+
+// LinkKind distinguishes edge classes.
+type LinkKind int
+
+// Link kinds.
+const (
+	LinkISLRF LinkKind = iota
+	LinkISLLaser
+	LinkGround // satellite ↔ ground station
+	LinkAccess // satellite ↔ user
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkISLRF:
+		return "isl-rf"
+	case LinkISLLaser:
+		return "isl-laser"
+	case LinkGround:
+		return "ground"
+	case LinkAccess:
+		return "access"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Edge is one feasible link at the snapshot time. Edges are stored
+// directed (both directions present) so per-direction costs are possible.
+type Edge struct {
+	From, To    string
+	Kind        LinkKind
+	DistanceKm  float64
+	DelayS      float64 // one-way propagation delay
+	CapacityBps float64
+	CrossOwner  bool // endpoints belong to different providers
+}
+
+// Snapshot is the network graph at one instant.
+type Snapshot struct {
+	TimeS float64
+	nodes map[string]*Node
+	adj   map[string][]Edge
+	edges int // directed edge count
+}
+
+// Node returns the node with the given ID, or nil.
+func (s *Snapshot) Node(id string) *Node { return s.nodes[id] }
+
+// Nodes returns all node IDs in deterministic (sorted) order.
+func (s *Snapshot) Nodes() []string {
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Neighbors returns the outgoing edges of id.
+func (s *Snapshot) Neighbors(id string) []Edge { return s.adj[id] }
+
+// NodeCount returns the number of nodes.
+func (s *Snapshot) NodeCount() int { return len(s.nodes) }
+
+// EdgeCount returns the number of directed edges.
+func (s *Snapshot) EdgeCount() int { return s.edges }
+
+// Edge returns the edge from → to if present.
+func (s *Snapshot) Edge(from, to string) (Edge, bool) {
+	for _, e := range s.adj[from] {
+		if e.To == to {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// SatSpec describes one satellite feeding a snapshot build.
+type SatSpec struct {
+	ID       string
+	Provider string
+	Elements orbit.Elements
+	HasLaser bool
+	MaxISLs  int // power-budget cap on simultaneous ISLs; 0 = unlimited
+}
+
+// GroundSpec describes a ground station.
+type GroundSpec struct {
+	ID       string
+	Provider string
+	Pos      geo.LatLon
+}
+
+// UserSpec describes a ground user terminal.
+type UserSpec struct {
+	ID       string
+	Provider string // home ISP
+	Pos      geo.LatLon
+}
+
+// Config sets the link-feasibility rules for snapshot building. The zero
+// value is not useful; start from DefaultConfig.
+type Config struct {
+	// ISLRangeKm caps RF ISL length (power-limited). Laser ISLs use
+	// LaserRangeKm. Line of sight over the Earth limb is always required.
+	ISLRangeKm   float64
+	LaserRangeKm float64
+	// MinElevationDeg is the ground terminal elevation mask for both
+	// ground-station and user links.
+	MinElevationDeg float64
+	// Capacities assigned to built links.
+	RFISLBps    float64
+	LaserISLBps float64
+	GroundBps   float64
+	AccessBps   float64
+}
+
+// DefaultConfig returns feasibility rules derived from the phy package's
+// standard terminals: S-band RF ISLs, ConLCT80-class laser ISLs, Ku ground
+// links, and a 10° elevation mask.
+func DefaultConfig() Config {
+	rf := phy.StandardSBand()
+	laser := phy.ConLCT80()
+	ground := phy.DefaultGroundLink()
+	return Config{
+		ISLRangeKm:      rf.MaxRangeKm(0, 20000),
+		LaserRangeKm:    laser.MaxRangeKm(40000),
+		MinElevationDeg: 10,
+		RFISLBps:        rf.Budget(2000, 0).CapacityBps,
+		LaserISLBps:     laser.DataRateBps,
+		GroundBps:       ground.Budget(geo.SlantRangeKm(780, 30), 30).CapacityBps,
+		AccessBps:       50e6,
+	}
+}
+
+// Build constructs the snapshot at time t.
+//
+// ISLs: every satellite pair with line of sight and within range gets a
+// link — laser when both ends carry terminals and are within laser range,
+// otherwise RF (the paper's "RF at a minimum, optionally laser" rule).
+// When a satellite has a MaxISLs power budget, its nearest neighbours are
+// kept — locally optimal for link quality, and deterministic. Ground and
+// access links attach by elevation mask.
+func Build(t float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) *Snapshot {
+	s := &Snapshot{
+		TimeS: t,
+		nodes: make(map[string]*Node),
+		adj:   make(map[string][]Edge),
+	}
+	for _, sp := range sats {
+		s.nodes[sp.ID] = &Node{
+			ID: sp.ID, Kind: KindSatellite, Provider: sp.Provider,
+			Pos: sp.Elements.PositionECEF(t), HasLaser: sp.HasLaser,
+		}
+	}
+	for _, g := range grounds {
+		s.nodes[g.ID] = &Node{ID: g.ID, Kind: KindGroundStation, Provider: g.Provider, Pos: g.Pos.Vec3(0)}
+	}
+	for _, u := range users {
+		s.nodes[u.ID] = &Node{ID: u.ID, Kind: KindUser, Provider: u.Provider, Pos: u.Pos.Vec3(0)}
+	}
+
+	// Candidate ISLs per satellite, nearest first, respecting MaxISLs.
+	type cand struct {
+		j    int
+		dist float64
+	}
+	accepted := make(map[[2]int]bool)
+	degree := make(map[int]int)
+	limit := func(i int) int {
+		if sats[i].MaxISLs <= 0 {
+			return int(^uint(0) >> 1)
+		}
+		return sats[i].MaxISLs
+	}
+	pos := make([]geo.Vec3, len(sats))
+	for i := range sats {
+		pos[i] = s.nodes[sats[i].ID].Pos
+	}
+	// Gather all feasible pairs sorted by distance (shortest first), then
+	// accept greedily under degree caps — deterministic and symmetric.
+	var pairs []struct {
+		i, j int
+		d    float64
+	}
+	for i := 0; i < len(sats); i++ {
+		for j := i + 1; j < len(sats); j++ {
+			d := pos[i].DistanceKm(pos[j])
+			maxRange := cfg.ISLRangeKm
+			if sats[i].HasLaser && sats[j].HasLaser && cfg.LaserRangeKm > maxRange {
+				maxRange = cfg.LaserRangeKm
+			}
+			if d > maxRange || !geo.LineOfSight(pos[i], pos[j]) {
+				continue
+			}
+			pairs = append(pairs, struct {
+				i, j int
+				d    float64
+			}{i, j, d})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].d != pairs[b].d {
+			return pairs[a].d < pairs[b].d
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	for _, p := range pairs {
+		if degree[p.i] >= limit(p.i) || degree[p.j] >= limit(p.j) {
+			continue
+		}
+		accepted[[2]int{p.i, p.j}] = true
+		degree[p.i]++
+		degree[p.j]++
+	}
+	for key := range accepted {
+		i, j := key[0], key[1]
+		d := pos[i].DistanceKm(pos[j])
+		kind, capBps := LinkISLRF, cfg.RFISLBps
+		if sats[i].HasLaser && sats[j].HasLaser && d <= cfg.LaserRangeKm {
+			kind, capBps = LinkISLLaser, cfg.LaserISLBps
+		}
+		s.addBidirectional(sats[i].ID, sats[j].ID, kind, d, capBps,
+			sats[i].Provider != sats[j].Provider)
+	}
+
+	// Ground-station and user access links.
+	attach := func(id, provider string, ll geo.LatLon, kind LinkKind, capBps float64) {
+		gp := ll.Vec3(0)
+		for i, sat := range sats {
+			if geo.ElevationDeg(ll, pos[i]) < cfg.MinElevationDeg {
+				continue
+			}
+			d := gp.DistanceKm(pos[i])
+			s.addBidirectional(id, sat.ID, kind, d, capBps, provider != sat.Provider)
+		}
+	}
+	for _, g := range grounds {
+		attach(g.ID, g.Provider, g.Pos, LinkGround, cfg.GroundBps)
+	}
+	for _, u := range users {
+		attach(u.ID, u.Provider, u.Pos, LinkAccess, cfg.AccessBps)
+	}
+	// Deterministic adjacency order.
+	for id := range s.adj {
+		es := s.adj[id]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return s
+}
+
+func (s *Snapshot) addBidirectional(a, b string, kind LinkKind, distKm, capBps float64, cross bool) {
+	delay := distKm / phy.SpeedOfLightKmS
+	s.adj[a] = append(s.adj[a], Edge{From: a, To: b, Kind: kind, DistanceKm: distKm, DelayS: delay, CapacityBps: capBps, CrossOwner: cross})
+	s.adj[b] = append(s.adj[b], Edge{From: b, To: a, Kind: kind, DistanceKm: distKm, DelayS: delay, CapacityBps: capBps, CrossOwner: cross})
+	s.edges += 2
+}

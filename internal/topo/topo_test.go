@@ -1,0 +1,281 @@
+package topo
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// iridiumSpecs converts the Iridium constellation into SatSpecs owned by
+// nProviders round-robin.
+func iridiumSpecs(t *testing.T, nProviders int, laser bool) []SatSpec {
+	t.Helper()
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		specs[i] = SatSpec{
+			ID:       s.ID,
+			Provider: providerName(i % nProviders),
+			Elements: s.Elements,
+			HasLaser: laser,
+		}
+	}
+	return specs
+}
+
+func providerName(i int) string { return string(rune('A' + i)) }
+
+func TestKindStrings(t *testing.T) {
+	if KindSatellite.String() != "satellite" || KindGroundStation.String() != "ground-station" ||
+		KindUser.String() != "user" || NodeKind(9).String() == "" {
+		t.Error("NodeKind strings wrong")
+	}
+	if LinkISLRF.String() != "isl-rf" || LinkISLLaser.String() != "isl-laser" ||
+		LinkGround.String() != "ground" || LinkAccess.String() != "access" || LinkKind(9).String() == "" {
+		t.Error("LinkKind strings wrong")
+	}
+}
+
+func TestBuildBasicStructure(t *testing.T) {
+	sats := iridiumSpecs(t, 1, false)
+	grounds := []GroundSpec{{ID: "gs-0", Provider: "A", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}}}
+	users := []UserSpec{{ID: "u-0", Provider: "A", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
+	s := Build(0, DefaultConfig(), sats, grounds, users)
+
+	if s.NodeCount() != len(sats)+2 {
+		t.Fatalf("node count %d", s.NodeCount())
+	}
+	if s.Node("gs-0") == nil || s.Node("u-0") == nil || s.Node(sats[0].ID) == nil {
+		t.Fatal("missing nodes")
+	}
+	if s.Node("nope") != nil {
+		t.Fatal("phantom node")
+	}
+	if s.EdgeCount() == 0 {
+		t.Fatal("no edges built")
+	}
+	// Every edge must be symmetric.
+	for _, id := range s.Nodes() {
+		for _, e := range s.Neighbors(id) {
+			back, ok := s.Edge(e.To, e.From)
+			if !ok {
+				t.Fatalf("edge %s→%s has no reverse", e.From, e.To)
+			}
+			if back.DistanceKm != e.DistanceKm || back.Kind != e.Kind {
+				t.Fatalf("asymmetric edge attributes %s↔%s", e.From, e.To)
+			}
+		}
+	}
+	// The user and ground station must each see at least one satellite
+	// (Iridium provides global coverage).
+	if len(s.Neighbors("u-0")) == 0 {
+		t.Error("user sees no satellites")
+	}
+	if len(s.Neighbors("gs-0")) == 0 {
+		t.Error("ground station sees no satellites")
+	}
+	// Users and ground stations never connect to each other directly.
+	for _, e := range s.Neighbors("u-0") {
+		if s.Node(e.To).Kind != KindSatellite {
+			t.Errorf("user linked to non-satellite %s", e.To)
+		}
+		if e.Kind != LinkAccess {
+			t.Errorf("user link kind %v", e.Kind)
+		}
+	}
+	for _, e := range s.Neighbors("gs-0") {
+		if e.Kind != LinkGround {
+			t.Errorf("ground link kind %v", e.Kind)
+		}
+	}
+}
+
+func TestISLRangeAndLineOfSight(t *testing.T) {
+	s := Build(0, DefaultConfig(), iridiumSpecs(t, 1, false), nil, nil)
+	cfg := DefaultConfig()
+	for _, id := range s.Nodes() {
+		for _, e := range s.Neighbors(id) {
+			if e.Kind != LinkISLRF {
+				continue
+			}
+			if e.DistanceKm > cfg.ISLRangeKm {
+				t.Fatalf("ISL %s→%s length %v exceeds range %v", e.From, e.To, e.DistanceKm, cfg.ISLRangeKm)
+			}
+			a, b := s.Node(e.From), s.Node(e.To)
+			if !geo.LineOfSight(a.Pos, b.Pos) {
+				t.Fatalf("ISL %s→%s lacks line of sight", e.From, e.To)
+			}
+			if e.DelayS <= 0 || e.CapacityBps <= 0 {
+				t.Fatalf("ISL %s→%s missing delay/capacity", e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestLaserPreferredWhenBothCapable(t *testing.T) {
+	sats := iridiumSpecs(t, 1, true)
+	s := Build(0, DefaultConfig(), sats, nil, nil)
+	laser, rf := 0, 0
+	for _, id := range s.Nodes() {
+		for _, e := range s.Neighbors(id) {
+			switch e.Kind {
+			case LinkISLLaser:
+				laser++
+			case LinkISLRF:
+				rf++
+			}
+		}
+	}
+	if laser == 0 {
+		t.Fatal("no laser ISLs despite universal capability")
+	}
+	if rf != 0 {
+		t.Errorf("found %d RF ISLs among laser-capable in-range satellites", rf)
+	}
+	// Mixed fleet: only laser-laser pairs upgrade.
+	mixed := iridiumSpecs(t, 1, false)
+	for i := range mixed {
+		mixed[i].HasLaser = i%2 == 0
+	}
+	s = Build(0, DefaultConfig(), mixed, nil, nil)
+	for _, id := range s.Nodes() {
+		for _, e := range s.Neighbors(id) {
+			if e.Kind == LinkISLLaser {
+				if !s.Node(e.From).HasLaser || !s.Node(e.To).HasLaser {
+					t.Fatal("laser ISL with a non-laser endpoint")
+				}
+			}
+		}
+	}
+}
+
+func TestMaxISLsRespected(t *testing.T) {
+	sats := iridiumSpecs(t, 1, false)
+	for i := range sats {
+		sats[i].MaxISLs = 3
+	}
+	s := Build(0, DefaultConfig(), sats, nil, nil)
+	for _, id := range s.Nodes() {
+		isls := 0
+		for _, e := range s.Neighbors(id) {
+			if e.Kind == LinkISLRF || e.Kind == LinkISLLaser {
+				isls++
+			}
+		}
+		if isls > 3 {
+			t.Fatalf("satellite %s has %d ISLs, cap is 3", id, isls)
+		}
+	}
+}
+
+func TestCrossOwnerFlag(t *testing.T) {
+	sats := iridiumSpecs(t, 3, false)
+	grounds := []GroundSpec{{ID: "gs-0", Provider: "Z", Pos: geo.LatLon{Lat: 0, Lon: 0}}}
+	s := Build(0, DefaultConfig(), sats, grounds, nil)
+	sawCross, sawSame := false, false
+	for _, id := range s.Nodes() {
+		for _, e := range s.Neighbors(id) {
+			a, b := s.Node(e.From), s.Node(e.To)
+			if e.CrossOwner != (a.Provider != b.Provider) {
+				t.Fatalf("edge %s→%s cross-owner flag wrong", e.From, e.To)
+			}
+			if e.CrossOwner {
+				sawCross = true
+			} else {
+				sawSame = true
+			}
+		}
+	}
+	if !sawCross || !sawSame {
+		t.Error("expected a mix of same- and cross-owner edges")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	sats := iridiumSpecs(t, 2, true)
+	grounds := []GroundSpec{{ID: "gs", Provider: "A", Pos: geo.LatLon{Lat: 10, Lon: 10}}}
+	a := Build(100, DefaultConfig(), sats, grounds, nil)
+	b := Build(100, DefaultConfig(), sats, grounds, nil)
+	if a.EdgeCount() != b.EdgeCount() || a.NodeCount() != b.NodeCount() {
+		t.Fatal("builds differ in size")
+	}
+	for _, id := range a.Nodes() {
+		ea, eb := a.Neighbors(id), b.Neighbors(id)
+		if len(ea) != len(eb) {
+			t.Fatalf("node %s adjacency differs", id)
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("node %s edge %d differs: %+v vs %+v", id, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestTimeExpanded(t *testing.T) {
+	sats := iridiumSpecs(t, 1, false)[:12]
+	te, err := BuildTimeExpanded(0, 600, 60, DefaultConfig(), sats, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(te.Snaps) != 11 {
+		t.Fatalf("snapshot count %d, want 11", len(te.Snaps))
+	}
+	if te.EndS() != 600 {
+		t.Errorf("EndS = %v", te.EndS())
+	}
+	// At() selects the right snapshot and clamps.
+	if te.At(-5) != te.Snaps[0] {
+		t.Error("At before start should clamp to first")
+	}
+	if te.At(0) != te.Snaps[0] || te.At(59.9) != te.Snaps[0] {
+		t.Error("At within first interval wrong")
+	}
+	if te.At(60) != te.Snaps[1] || te.At(125) != te.Snaps[2] {
+		t.Error("At mid-series wrong")
+	}
+	if te.At(1e9) != te.Snaps[10] {
+		t.Error("At past end should clamp to last")
+	}
+	// Topology actually changes over time (satellites move).
+	if te.Snaps[0].EdgeCount() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	// Errors.
+	if _, err := BuildTimeExpanded(0, 100, 0, DefaultConfig(), sats, nil, nil); err == nil {
+		t.Error("zero interval should error")
+	}
+	if _, err := BuildTimeExpanded(0, -1, 10, DefaultConfig(), sats, nil, nil); err == nil {
+		t.Error("negative horizon should error")
+	}
+	var empty TimeExpanded
+	if empty.At(0) != nil {
+		t.Error("empty series At should be nil")
+	}
+	if empty.EndS() != 0 {
+		t.Error("empty series EndS should be StartS")
+	}
+}
+
+func TestSnapshotTopologyEvolves(t *testing.T) {
+	// Over ten minutes, some ISLs must appear or disappear — the "rapidly
+	// changing network topology" the paper's routing must handle.
+	sats := iridiumSpecs(t, 1, false)
+	s0 := Build(0, DefaultConfig(), sats, nil, nil)
+	s600 := Build(600, DefaultConfig(), sats, nil, nil)
+	diff := 0
+	for _, id := range s0.Nodes() {
+		for _, e := range s0.Neighbors(id) {
+			if _, ok := s600.Edge(e.From, e.To); !ok {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("topology identical after 600 s; expected churn")
+	}
+}

@@ -1,0 +1,379 @@
+// Package openspace is the public API of the OpenSpace reference
+// implementation — a from-scratch build of the architecture proposed in
+// "A Roadmap for the Democratization of Space-Based Communications"
+// (HotNets '24): an open, interoperable LEO satellite Internet operated by
+// many independent providers rather than one vertically integrated firm.
+//
+// The package re-exports the stable surface of the internal subsystems:
+//
+//   - Orbits and constellations (Keplerian propagation, Walker generators,
+//     the Iridium-like reference constellation of the paper's Figure 2a).
+//   - Federations (Network): multiple providers with their own satellites,
+//     ground stations, authentication servers and traffic ledgers, wired
+//     together by the standardized protocols of §2.
+//   - End-to-end operations: user association with home-ISP authentication
+//     and roaming certificates, routing over heterogeneous multi-owner
+//     ISLs, gateway metering, and §3's cross-verifiable accounting.
+//   - The experiment harness regenerating every figure of the paper's
+//     evaluation (see the Fig2a/Fig2b/Fig2c functions and friends).
+//
+// Quickstart:
+//
+//	net, _ := openspace.QuickFederation(3, 42)
+//	net.AddUser("alice", "prov-0", openspace.LatLon{Lat: -1.29, Lon: 36.82})
+//	net.BuildTopology(0, 600, 60)
+//	net.Associate("alice", 0)
+//	delivery, _ := net.Send("alice", "gs-0", 1<<30, 0)
+//	fmt.Println(delivery.LatencyS)
+package openspace
+
+import (
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/experiments"
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/handover"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/phy"
+	"github.com/openspace-project/openspace/internal/regulation"
+	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/security"
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// Geometry and orbits.
+type (
+	// LatLon is a geodetic position in degrees.
+	LatLon = geo.LatLon
+	// Vec3 is an Earth-centred Cartesian position in km.
+	Vec3 = geo.Vec3
+	// Cap is a spherical coverage footprint.
+	Cap = geo.Cap
+	// Elements is a classical Keplerian element set.
+	Elements = orbit.Elements
+	// Satellite is one spacecraft (ID + orbit).
+	Satellite = orbit.Satellite
+	// Constellation is an ordered satellite set.
+	Constellation = orbit.Constellation
+	// WalkerConfig specifies a Walker Star/Delta constellation.
+	WalkerConfig = orbit.WalkerConfig
+	// ContactWindow is a ground-visibility interval.
+	ContactWindow = orbit.ContactWindow
+)
+
+// Federation assembly.
+type (
+	// NetworkConfig assembles a federation of providers.
+	NetworkConfig = core.NetworkConfig
+	// ProviderConfig describes one member firm.
+	ProviderConfig = core.ProviderConfig
+	// SatelliteConfig describes one spacecraft in a fleet.
+	SatelliteConfig = core.SatelliteConfig
+	// GroundStationConfig describes one gateway station.
+	GroundStationConfig = core.GroundStationConfig
+	// Network is an assembled OpenSpace federation.
+	Network = core.Network
+	// Provider is a federation member at run time.
+	Provider = core.Provider
+	// User is a subscriber terminal at run time.
+	User = core.User
+	// Delivery reports one end-to-end transfer.
+	Delivery = core.Delivery
+	// Scenario is a discrete-event workload for RunScenario.
+	Scenario = core.Scenario
+	// ScenarioResult aggregates one scenario run.
+	ScenarioResult = core.ScenarioResult
+	// HandoverPlan is a planned satellite handover.
+	HandoverPlan = core.HandoverPlan
+	// GatewayChoice is one scored gateway option.
+	GatewayChoice = core.GatewayChoice
+	// FederationGain compares solo and federated coverage.
+	FederationGain = core.FederationGain
+	// TopologyConfig sets link feasibility rules.
+	TopologyConfig = topo.Config
+)
+
+// Physical layer.
+type (
+	// Band identifies a spectrum band.
+	Band = phy.Band
+	// RFTerminal describes a radio terminal.
+	RFTerminal = phy.RFTerminal
+	// LaserTerminal describes an optical ISL terminal.
+	LaserTerminal = phy.LaserTerminal
+)
+
+// Spectrum bands.
+const (
+	// BandUHF is the mandatory smallsat ISL band.
+	BandUHF = phy.BandUHF
+	// BandS is the higher-rate RF ISL band.
+	BandS = phy.BandS
+	// BandKu is the ground-segment band.
+	BandKu = phy.BandKu
+	// BandKa is the high-capacity gateway band.
+	BandKa = phy.BandKa
+	// BandOptical is the laser upgrade path.
+	BandOptical = phy.BandOptical
+)
+
+// Physical-layer reference terminals.
+var (
+	// StandardUHF is the minimal mandatory RF terminal.
+	StandardUHF = phy.StandardUHF
+	// StandardSBand is the higher-rate RF ISL terminal.
+	StandardSBand = phy.StandardSBand
+	// ConLCT80 is the paper's reference laser terminal ($500k, 15 kg).
+	ConLCT80 = phy.ConLCT80
+)
+
+// Topology and routing (the §2.2 machinery, exposed for custom scenarios).
+type (
+	// Snapshot is the network graph at one instant.
+	Snapshot = topo.Snapshot
+	// TimeExpanded is a series of snapshots — the public, precomputable
+	// evolution of the network.
+	TimeExpanded = topo.TimeExpanded
+	// SatSpec feeds one satellite into a topology build.
+	SatSpec = topo.SatSpec
+	// GroundSpec feeds one ground station into a topology build.
+	GroundSpec = topo.GroundSpec
+	// UserSpec feeds one user terminal into a topology build.
+	UserSpec = topo.UserSpec
+	// RoutePath is a computed route.
+	RoutePath = routing.Path
+	// CostFunc scores edges for path selection.
+	CostFunc = routing.CostFunc
+	// QoSPolicy parameterises heterogeneity-aware routing.
+	QoSPolicy = routing.QoSPolicy
+	// ServiceClass is an advertised QoS tier (interactive/standard/bulk).
+	ServiceClass = routing.ServiceClass
+	// ScheduledRoute is a store-and-forward (contact-graph) route.
+	ScheduledRoute = routing.ScheduledRoute
+)
+
+// Service classes.
+const (
+	// ClassInteractive is the latency- and bandwidth-sensitive tier.
+	ClassInteractive = routing.ClassInteractive
+	// ClassStandard is the balanced default tier.
+	ClassStandard = routing.ClassStandard
+	// ClassBulk is the cost-optimised background tier.
+	ClassBulk = routing.ClassBulk
+)
+
+// Topology and routing functions.
+var (
+	// BuildSnapshot constructs the network graph at one instant.
+	BuildSnapshot = topo.Build
+	// BuildTimeExpanded precomputes a snapshot series over a horizon.
+	BuildTimeExpanded = topo.BuildTimeExpanded
+	// ShortestPath runs Dijkstra under a cost function.
+	ShortestPath = routing.ShortestPath
+	// KShortestPaths returns loopless alternatives in cost order (Yen).
+	KShortestPaths = routing.KShortestPaths
+	// DisjointPaths returns edge-disjoint routes for load balancing and
+	// failure independence.
+	DisjointPaths = routing.DisjointPaths
+	// EarliestArrival computes a store-and-forward route over time
+	// (contact-graph routing) for sparse deployments.
+	EarliestArrival = routing.EarliestArrival
+	// LatencyCost scores edges by propagation delay.
+	LatencyCost = routing.LatencyCost
+	// HopCost scores every edge 1.
+	HopCost = routing.HopCost
+	// DefaultQoS returns the balanced heterogeneity-aware policy.
+	DefaultQoS = routing.DefaultQoS
+)
+
+// Economics.
+type (
+	// Ledger is a provider's carried-traffic account (§3).
+	Ledger = economics.Ledger
+	// Invoice is one provider-to-provider charge.
+	Invoice = economics.Invoice
+	// RateCard holds bilateral carriage prices.
+	RateCard = economics.RateCard
+	// PeeringCandidate is a symmetric pair that should peer.
+	PeeringCandidate = economics.PeeringCandidate
+	// CapexModel prices fleet buildouts.
+	CapexModel = economics.CapexModel
+	// FleetPlan describes a provider's buildout.
+	FleetPlan = economics.FleetPlan
+)
+
+// Handover.
+type (
+	// HandoverTimeline is a simulated session's handover history.
+	HandoverTimeline = handover.Timeline
+	// HandoverEvent is one handover.
+	HandoverEvent = handover.Event
+	// HandoverPredictor computes successor handovers from public orbits.
+	HandoverPredictor = handover.Predictor
+	// HandoverSat is one satellite known to a predictor.
+	HandoverSat = handover.Sat
+	// PredictiveCosts parameterises OpenSpace's fast handover path.
+	PredictiveCosts = handover.PredictiveCosts
+	// ReauthCosts parameterises the full re-association baseline.
+	ReauthCosts = handover.ReauthCosts
+)
+
+// Handover constructors.
+var (
+	// NewHandoverPredictor creates a predictor for one ground user.
+	NewHandoverPredictor = handover.NewPredictor
+	// DefaultPredictiveCosts returns the standard fast-path costs.
+	DefaultPredictiveCosts = handover.DefaultPredictiveCosts
+	// DefaultReauthCosts returns the standard re-association costs.
+	DefaultReauthCosts = handover.DefaultReauthCosts
+)
+
+// Security (§5(6)): baseline end-to-end encryption and bad-actor cutoff.
+type (
+	// SecureSession is authenticated end-to-end encryption for user data.
+	SecureSession = security.Session
+	// Envelope is one sealed message.
+	Envelope = security.Envelope
+	// MisbehaviourReport is a signed accusation between providers.
+	MisbehaviourReport = security.Report
+	// QuarantineRegistry collects reports and quarantines by quorum.
+	QuarantineRegistry = security.Registry
+)
+
+// Misbehaviour report kinds.
+const (
+	// ReportLedgerFraud flags failed ledger cross-verification.
+	ReportLedgerFraud = security.KindLedgerFraud
+	// ReportTrafficDrop flags relayed traffic that never arrived.
+	ReportTrafficDrop = security.KindTrafficDrop
+	// ReportInterception flags tampering evidence on the accused's paths.
+	ReportInterception = security.KindInterception
+)
+
+// Security constructors.
+var (
+	// NewSecureSession creates one direction of an encrypted session.
+	NewSecureSession = security.NewSession
+	// NewQuarantineRegistry creates a registry with the given quorum.
+	NewQuarantineRegistry = security.NewRegistry
+	// ExcludeQuarantined wraps a routing cost to avoid quarantined members.
+	ExcludeQuarantined = security.ExcludeQuarantined
+)
+
+// Regulation (§5(3)): regions, data residency, spectrum, licensing.
+type (
+	// RegulatoryAtlas partitions the Earth into jurisdictions.
+	RegulatoryAtlas = regulation.Atlas
+	// RegulatoryPolicy is the rule set a federation operates under.
+	RegulatoryPolicy = regulation.Policy
+	// RegulatoryRegion is one named jurisdiction.
+	RegulatoryRegion = regulation.Region
+)
+
+// Regulation constructors.
+var (
+	// DefaultAtlas returns the coarse continental partition.
+	DefaultAtlas = regulation.DefaultAtlas
+	// NewAtlas validates and assembles a custom atlas.
+	NewAtlas = regulation.NewAtlas
+	// ResidencyFilter enforces data-residency at path computation.
+	ResidencyFilter = regulation.ResidencyFilter
+)
+
+// Incentives (§5(4)).
+type (
+	// IncentiveReport is the membership business case for one provider.
+	IncentiveReport = economics.IncentiveReport
+	// CoverageEconomics monetises availability gains.
+	CoverageEconomics = economics.CoverageEconomics
+)
+
+// Incentive functions.
+var (
+	// Incentive computes one provider's membership case.
+	Incentive = economics.Incentive
+	// RevenueShares splits a pot by carried volume.
+	RevenueShares = economics.RevenueShares
+)
+
+// Constructors and helpers re-exported from the subsystems.
+var (
+	// NewNetwork federates the configured providers.
+	NewNetwork = core.NewNetwork
+	// SplitConstellation partitions a constellation across fleets.
+	SplitConstellation = core.SplitConstellation
+	// Iridium returns the paper's reference Walker Star (66/6, 780 km).
+	Iridium = orbit.Iridium
+	// CBOReference returns the CBO's 72-satellite reference configuration.
+	CBOReference = orbit.CBOReference
+	// RandomConstellation generates uncoordinated random circular orbits.
+	RandomConstellation = orbit.RandomCircular
+	// DefaultTopology returns the standard link feasibility rules.
+	DefaultTopology = topo.DefaultConfig
+	// DefaultCapex returns the capital cost model with the paper's figures.
+	DefaultCapex = economics.DefaultCapex
+	// Settle prices a ledger against a rate card.
+	Settle = economics.Settle
+	// NetBalances folds invoices into per-provider positions.
+	NetBalances = economics.NetBalances
+	// PeeringCandidates finds symmetric pairs that should peer.
+	PeeringCandidates = economics.PeeringCandidates
+	// CrossVerify compares two providers' ledgers.
+	CrossVerify = economics.CrossVerify
+)
+
+// Experiment entry points (the paper's evaluation and the extensions
+// indexed in DESIGN.md).
+var (
+	// Fig2a builds and measures the reference constellation.
+	Fig2a = experiments.Fig2a
+	// Fig2b sweeps latency vs constellation size.
+	Fig2b = experiments.Fig2b
+	// DefaultFig2b returns the paper-default sweep configuration.
+	DefaultFig2b = experiments.DefaultFig2b
+	// Fig2c sweeps coverage vs constellation size.
+	Fig2c = experiments.Fig2c
+	// DefaultFig2c returns the paper-default sweep configuration.
+	DefaultFig2c = experiments.DefaultFig2c
+)
+
+// QuickFederation builds a ready-to-use federation: the Iridium reference
+// constellation split across n providers (30 % of satellites carry laser
+// terminals), one gateway ground station per provider at spread locations,
+// and deterministic keys from seed. Ground stations are named gs-0 … gs-(n-1).
+func QuickFederation(n int, seed int64) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("openspace: providers %d must be positive", n)
+	}
+	c, err := Iridium().Build()
+	if err != nil {
+		return nil, err
+	}
+	fleets := SplitConstellation(c, n, 0.3)
+	sites := []LatLon{
+		{Lat: 47.6, Lon: -122.3},   // seattle
+		{Lat: -1.29, Lon: 36.82},   // nairobi
+		{Lat: 51.51, Lon: -0.13},   // london
+		{Lat: -33.87, Lon: 151.21}, // sydney
+		{Lat: 35.68, Lon: 139.69},  // tokyo
+		{Lat: -23.55, Lon: -46.63}, // sao paulo
+	}
+	providers := make([]ProviderConfig, n)
+	for i := range providers {
+		providers[i] = ProviderConfig{
+			ID:            fmt.Sprintf("prov-%d", i),
+			Satellites:    fleets[i],
+			CarriagePerGB: 0.20,
+			GroundStations: []GroundStationConfig{{
+				ID:           fmt.Sprintf("gs-%d", i),
+				Pos:          sites[i%len(sites)],
+				BackhaulBps:  10e9,
+				PricePerGB:   0.05,
+				VisitorSurge: 2,
+			}},
+		}
+	}
+	return NewNetwork(NetworkConfig{Providers: providers, Seed: seed})
+}
