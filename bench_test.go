@@ -6,6 +6,7 @@ package openspace
 // every result's shape; cmd/openspace-bench runs the full-size sweeps.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -43,6 +44,48 @@ func BenchmarkFig2bLatency(b *testing.B) {
 		if len(r.Latency.Points) == 0 {
 			b.Fatal("no latency points")
 		}
+	}
+}
+
+// BenchmarkFig2bWorkers measures the parallel harness's speedup on the
+// Fig2b sweep. Sub-benchmark names carry the worker count, so
+//
+//	go test -bench 'Fig2bWorkers' -cpu 4
+//
+// shows serial vs parallel wall time on the same workload; on a machine
+// with ≥4 cores the workers=4 run completes the sweep ≥2× faster than
+// workers=1 while producing byte-identical output (the determinism tests
+// in internal/experiments pin that equivalence).
+func BenchmarkFig2bWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultFig2b()
+			cfg.MaxSats, cfg.Step, cfg.Trials = 60, 10, 6
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig2b(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2cWorkers is the same worker sweep over the Fig2c coverage
+// computation, whose per-trial grid scans are the repo's heaviest
+// embarrassingly-parallel load.
+func BenchmarkFig2cWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultFig2c()
+			cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 10, 6, 2000
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig2c(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

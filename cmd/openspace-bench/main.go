@@ -32,15 +32,16 @@ func main() {
 		"one of: all, fig2a, fig2b, fig2c, federation, handover, mac, economics, links, incentives, routingablation, dtn, resilience, spectrum, criticalmass")
 	csvDir := flag.String("csvdir", "", "directory to write per-experiment CSV files (optional)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	workers := flag.Int("workers", 0, "parallel workers per experiment (0 = one per CPU, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
-	if err := run(*experiment, *csvDir, *quick); err != nil {
+	if err := run(*experiment, *csvDir, *quick, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "openspace-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, csvDir string, quick bool) error {
+func run(which, csvDir string, quick bool, workers int) error {
 	type entry struct {
 		name string
 		fn   func() (renderer, error)
@@ -52,6 +53,7 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 6, 8
 			}
+			cfg.Workers = workers
 			return experiments.Fig2b(cfg)
 		}},
 		{"fig2c", func() (renderer, error) {
@@ -59,6 +61,7 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 6, 8, 2000
 			}
+			cfg.Workers = workers
 			return experiments.Fig2c(cfg)
 		}},
 		{"federation", func() (renderer, error) {
@@ -66,6 +69,7 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.MaxPerFleet, cfg.Step, cfg.GridSize = 12, 4, 2000
 			}
+			cfg.Workers = workers
 			return experiments.Federation(cfg)
 		}},
 		{"handover", func() (renderer, error) {
@@ -73,6 +77,7 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.HorizonS = 1200
 			}
+			cfg.Workers = workers
 			return experiments.HandoverExperiment(cfg)
 		}},
 		{"mac", func() (renderer, error) {
@@ -80,6 +85,7 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.MaxStations = 12
 			}
+			cfg.Workers = workers
 			return experiments.MACExperiment(cfg)
 		}},
 		{"economics", func() (renderer, error) {
@@ -87,22 +93,28 @@ func run(which, csvDir string, quick bool) error {
 			if quick {
 				cfg.Transfers = 40
 			}
+			cfg.Workers = workers
 			return experiments.EconExperiment(cfg)
 		}},
 		{"links", func() (renderer, error) {
 			return experiments.LinksExperiment(experiments.DefaultLinkDistances())
 		}},
 		{"routingablation", func() (renderer, error) {
-			return experiments.RoutingAblation(experiments.DefaultRoutingAblation())
+			cfg := experiments.DefaultRoutingAblation()
+			cfg.Workers = workers
+			return experiments.RoutingAblation(cfg)
 		}},
 		{"spectrum", func() (renderer, error) {
-			return experiments.SpectrumExperiment(experiments.DefaultSpectrum())
+			cfg := experiments.DefaultSpectrum()
+			cfg.Workers = workers
+			return experiments.SpectrumExperiment(cfg)
 		}},
 		{"resilience", func() (renderer, error) {
 			cfg := experiments.DefaultResilience()
 			if quick {
 				cfg.MaxFailures, cfg.Step, cfg.Trials = 24, 8, 4
 			}
+			cfg.Workers = workers
 			return experiments.Resilience(cfg)
 		}},
 		{"dtn", func() (renderer, error) {
@@ -111,16 +123,20 @@ func run(which, csvDir string, quick bool) error {
 				cfg.FleetSizes = []int{4, 12}
 				cfg.Trials, cfg.HorizonS, cfg.IntervalS = 3, 3*3600, 300
 			}
+			cfg.Workers = workers
 			return experiments.DTNExperiment(cfg)
 		}},
 		{"incentives", func() (renderer, error) {
-			return experiments.IncentivesExperiment(experiments.DefaultIncentives())
+			cfg := experiments.DefaultIncentives()
+			cfg.Workers = workers
+			return experiments.IncentivesExperiment(cfg)
 		}},
 		{"criticalmass", func() (renderer, error) {
 			cfg := experiments.DefaultCriticalMass()
 			if quick {
 				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 8, 3
 			}
+			cfg.Workers = workers
 			return experiments.CriticalMass(cfg)
 		}},
 	}
@@ -165,8 +181,10 @@ func run(which, csvDir string, quick bool) error {
 	// Hotspot availability is a scalar pair rather than a renderer; print
 	// it alongside federation output.
 	if which == "all" || which == "federation" {
+		hcfg := experiments.DefaultFederation()
+		hcfg.Workers = workers
 		solo, fed, err := experiments.HotspotScenario(
-			experiments.DefaultFederation(), geo.LatLon{Lat: 7.1, Lon: 125.6}, 500)
+			hcfg, geo.LatLon{Lat: 7.1, Lon: 125.6}, 500)
 		if err != nil {
 			return err
 		}

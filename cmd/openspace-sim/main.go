@@ -20,6 +20,7 @@ import (
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/topo"
 )
 
 func main() {
@@ -29,23 +30,24 @@ func main() {
 	bytesPer := flag.Int64("bytes", 100_000_000, "bytes per transfer")
 	duration := flag.Float64("duration", 600, "simulated seconds")
 	seed := flag.Int64("seed", 42, "random seed")
+	workers := flag.Int("workers", 0, "parallel topology-snapshot workers (0 = one per CPU, 1 = serial); results are identical at any setting")
 	scenario := flag.Bool("scenario", false, "drive the workload through the discrete-event engine (Poisson arrivals, automatic handovers) instead of fixed transfer counts")
 	flag.Parse()
 
 	if *scenario {
-		if err := runScenario(*providers, *users, *duration, *seed); err != nil {
+		if err := runScenario(*providers, *users, *duration, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*providers, *users, *transfers, *bytesPer, *duration, *seed); err != nil {
+	if err := run(*providers, *users, *transfers, *bytesPer, *duration, *seed, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(providers, users, transfers int, bytesPer int64, duration float64, seed int64) error {
+func run(providers, users, transfers int, bytesPer int64, duration float64, seed int64, workers int) error {
 	if providers <= 0 || users <= 0 || transfers <= 0 {
 		return fmt.Errorf("providers, users and transfers must be positive")
 	}
@@ -73,7 +75,9 @@ func run(providers, users, transfers int, bytesPer int64, duration float64, seed
 			}},
 		}
 	}
-	net, err := core.NewNetwork(core.NetworkConfig{Providers: pcs, Seed: seed})
+	net, err := core.NewNetwork(core.NetworkConfig{
+		Providers: pcs, Seed: seed, Topo: topo.Config{Workers: workers},
+	})
 	if err != nil {
 		return err
 	}
@@ -144,7 +148,7 @@ func run(providers, users, transfers int, bytesPer int64, duration float64, seed
 }
 
 // runScenario drives the engine-based workload (core.RunScenario).
-func runScenario(providers, users int, duration float64, seed int64) error {
+func runScenario(providers, users int, duration float64, seed int64, workers int) error {
 	c, err := orbit.Iridium().Build()
 	if err != nil {
 		return err
@@ -164,7 +168,9 @@ func runScenario(providers, users int, duration float64, seed int64) error {
 			}},
 		}
 	}
-	net, err := core.NewNetwork(core.NetworkConfig{Providers: pcs, Seed: seed})
+	net, err := core.NewNetwork(core.NetworkConfig{
+		Providers: pcs, Seed: seed, Topo: topo.Config{Workers: workers},
+	})
 	if err != nil {
 		return err
 	}

@@ -121,11 +121,16 @@ func (c NetworkConfig) Validate() error {
 	return nil
 }
 
-// withDefaults fills zero-valued fields.
+// withDefaults fills zero-valued fields. Topo.Workers is orthogonal to
+// the link-feasibility rules: a config that sets only the worker count
+// still gets the default feasibility rules.
 func (c NetworkConfig) withDefaults() NetworkConfig {
+	workers := c.Topo.Workers
+	c.Topo.Workers = 0
 	if c.Topo == (topo.Config{}) {
 		c.Topo = topo.DefaultConfig()
 	}
+	c.Topo.Workers = workers
 	if c.CertTTLS == 0 {
 		c.CertTTLS = 24 * 3600
 	}

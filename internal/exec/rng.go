@@ -1,0 +1,39 @@
+package exec
+
+import "math/rand"
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator: a
+// bijective avalanche mix whose output bits all depend on all input bits.
+// It is the standard seed-derivation primitive (Vigna recommends it for
+// seeding xoshiro/xoroshiro state) and is what makes hierarchical seeds
+// collision-resistant here.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Seed derives a child seed from a base seed and the task's logical
+// coordinates (e.g. sweep point, trial index). The derivation is a
+// SplitMix64 hash chain, so distinct coordinate tuples map to distinct
+// seeds (collisions need ~2^32 tuples by birthday bound; sweeps here are
+// thousands) and the result depends only on (base, coords), never on
+// worker scheduling.
+func Seed(base int64, coords ...int64) int64 {
+	x := splitmix64(uint64(base))
+	for _, c := range coords {
+		x = splitmix64(x ^ splitmix64(uint64(c)))
+	}
+	return int64(x)
+}
+
+// RNG returns a rand.Rand owned by the task at the given coordinates.
+// Tasks must not share RNGs: one RNG per Map index is what keeps parallel
+// sweeps bitwise identical to serial ones.
+func RNG(base int64, coords ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(base, coords...)))
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
@@ -22,6 +23,7 @@ type CriticalMassConfig struct {
 	Trials                 int
 	AltitudeKm             float64
 	Seed                   int64
+	Workers                int // parallel trial workers; ≤0 = one per CPU
 }
 
 // DefaultCriticalMass sweeps 4..72 total satellites for 1, 3 and 6 firms.
@@ -54,17 +56,34 @@ func CriticalMass(cfg CriticalMassConfig) (*CriticalMassResult, error) {
 		{Lat: 47.6, Lon: -122.3}, // seattle
 		{Lat: 51.51, Lon: -0.13}, // london
 	}
-	for _, k := range cfg.ProviderCounts {
+	var points []int
+	for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+		points = append(points, n)
+	}
+	// Flatten (provider count, sweep point, trial) into one task space;
+	// each task derives its RNG from its coordinates, so the curves are
+	// bitwise identical at any worker count.
+	perK := len(points) * cfg.Trials
+	fracs, err := exec.Map(cfg.Workers, len(cfg.ProviderCounts)*perK, func(i int) (float64, error) {
+		k := cfg.ProviderCounts[i/perK]
+		n := points[(i%perK)/cfg.Trials]
+		trial := i % cfg.Trials
+		rng := exec.RNG(cfg.Seed, int64(k), int64(n), int64(trial))
+		net, err := buildRandomFederation(k, n, cfg.AltitudeKm, gsPos, userPos, rng)
+		if err != nil {
+			return 0, err
+		}
+		return net.Connectivity(0).Fraction(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range cfg.ProviderCounts {
 		series := sim.Series{Name: fmt.Sprintf("%d providers", k)}
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+		for pi, n := range points {
 			var frac sim.Histogram
 			for trial := 0; trial < cfg.Trials; trial++ {
-				net, err := buildRandomFederation(k, n, cfg.AltitudeKm, gsPos, userPos, rng)
-				if err != nil {
-					return nil, err
-				}
-				frac.Add(net.Connectivity(0).Fraction())
+				frac.Add(fracs[ki*perK+pi*cfg.Trials+trial])
 			}
 			series.Append(float64(n), frac.Mean(), frac.Stddev())
 		}

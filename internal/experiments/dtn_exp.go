@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
@@ -25,6 +25,7 @@ type DTNConfig struct {
 	IntervalS  float64 // snapshot cadence
 	AltitudeKm float64
 	Seed       int64
+	Workers    int // parallel trial workers; ≤0 = one per CPU
 }
 
 // DefaultDTN sweeps fleets of 2..24 satellites with six hours of patience.
@@ -51,7 +52,6 @@ func DTNExperiment(cfg DTNConfig) (*DTNResult, error) {
 	if len(cfg.FleetSizes) == 0 || cfg.Trials <= 0 || cfg.HorizonS <= 0 || cfg.IntervalS <= 0 {
 		return nil, fmt.Errorf("experiments: dtn: bad config")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	users := []topo.UserSpec{{ID: "u", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
 	grounds := []topo.GroundSpec{{ID: "g", Provider: "p", Pos: geo.LatLon{Lat: 51.51, Lon: -0.13}}}
 
@@ -60,26 +60,53 @@ func DTNExperiment(cfg DTNConfig) (*DTNResult, error) {
 		StoreForward: sim.Series{Name: "deliverable with storage"},
 		MedianDelay:  sim.Series{Name: "median s&f delay (min)"},
 	}
-	for _, n := range cfg.FleetSizes {
+	// One task per (fleet size, trial); each builds its own time-expanded
+	// topology from a per-task RNG, keeping the curves bitwise identical
+	// at any worker count. Nested snapshot parallelism stays off (Workers
+	// is already spent at the trial level).
+	type trialOut struct {
+		sync, dtn bool
+		delayMin  float64
+	}
+	tcfg := topo.DefaultConfig()
+	tcfg.Workers = 1
+	outs, err := exec.Map(cfg.Workers, len(cfg.FleetSizes)*cfg.Trials, func(i int) (trialOut, error) {
+		n, trial := cfg.FleetSizes[i/cfg.Trials], i%cfg.Trials
+		rng := exec.RNG(cfg.Seed, int64(n), int64(trial))
+		c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
+		sats := make([]topo.SatSpec, c.Len())
+		for si, s := range c.Satellites {
+			sats[si] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+		}
+		te, err := topo.BuildTimeExpanded(0, cfg.HorizonS, cfg.IntervalS,
+			tcfg, sats, grounds, users)
+		if err != nil {
+			return trialOut{}, err
+		}
+		var out trialOut
+		if _, err := routing.ShortestPath(te.Snaps[0], "u", "g", routing.LatencyCost(0)); err == nil {
+			out.sync = true
+		}
+		if route, err := routing.EarliestArrival(te, "u", "g", 0, 0); err == nil {
+			out.dtn = true
+			out.delayMin = route.ArrivalS / 60
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, n := range cfg.FleetSizes {
 		sync, dtn := 0, 0
 		var delays sim.Histogram
 		for trial := 0; trial < cfg.Trials; trial++ {
-			c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
-			sats := make([]topo.SatSpec, c.Len())
-			for i, s := range c.Satellites {
-				sats[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
-			}
-			te, err := topo.BuildTimeExpanded(0, cfg.HorizonS, cfg.IntervalS,
-				topo.DefaultConfig(), sats, grounds, users)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := routing.ShortestPath(te.Snaps[0], "u", "g", routing.LatencyCost(0)); err == nil {
+			out := outs[fi*cfg.Trials+trial]
+			if out.sync {
 				sync++
 			}
-			if route, err := routing.EarliestArrival(te, "u", "g", 0, 0); err == nil {
+			if out.dtn {
 				dtn++
-				delays.Add(route.ArrivalS / 60)
+				delays.Add(out.delayMin)
 			}
 		}
 		x := float64(n)

@@ -7,6 +7,7 @@ import (
 
 	"github.com/openspace-project/openspace/internal/core"
 	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
@@ -21,6 +22,7 @@ type EconConfig struct {
 	Transfers        int
 	BytesPerTransfer int64
 	Seed             int64
+	Workers          int // parallel ledger-verification workers; ≤0 = one per CPU
 }
 
 // DefaultEcon uses 3 providers, 4 users each, 120 transfers of 100 MB.
@@ -108,13 +110,26 @@ func EconExperiment(cfg EconConfig) (*EconResult, error) {
 	}
 
 	res := &EconResult{Transfers: delivered, MeanLatencyS: latency.Mean()}
-	// Cross-verify every provider pair's ledgers.
+	// Cross-verify every provider pair's ledgers. The workload above is
+	// inherently sequential (stateful transfers), but verification is a
+	// read-only audit of frozen ledgers, so the pairs fan out on the pool.
 	ids := n.Providers()
+	var verifyPairs [][2]string
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
-			res.Discrepancies += len(economics.CrossVerify(
-				n.Provider(ids[i]).Ledger, n.Provider(ids[j]).Ledger))
+			verifyPairs = append(verifyPairs, [2]string{ids[i], ids[j]})
 		}
+	}
+	counts, err := exec.Map(cfg.Workers, len(verifyPairs), func(i int) (int, error) {
+		pair := verifyPairs[i]
+		return len(economics.CrossVerify(
+			n.Provider(pair[0]).Ledger, n.Provider(pair[1]).Ledger)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range counts {
+		res.Discrepancies += c
 	}
 	// Settle prov-0's ledger with flat bilateral rates and scan for peering.
 	rates := economics.RateCard{Default: 0.20}

@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"github.com/openspace-project/openspace/internal/core"
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
@@ -25,6 +25,7 @@ type FederationConfig struct {
 	MinElevationDeg float64
 	GridSize        int
 	Seed            int64
+	Workers         int // parallel sweep-point workers; ≤0 = one per CPU
 }
 
 // DefaultFederation sweeps 3 providers from 2 to 24 satellites each.
@@ -41,17 +42,24 @@ type FederationResult struct {
 	Union    sim.Series // per-fleet size vs federated coverage
 }
 
-// Federation runs E4.
+// Federation runs E4. Each swept fleet size is an independent task on the
+// exec pool with its own RNG derived from (Seed, m), so the result is
+// bitwise identical at any worker count.
 func Federation(cfg FederationConfig) (*FederationResult, error) {
 	if cfg.Providers <= 0 || cfg.MinPerFleet <= 0 || cfg.MaxPerFleet < cfg.MinPerFleet || cfg.Step <= 0 {
 		return nil, fmt.Errorf("experiments: federation: bad sweep")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &FederationResult{
 		BestSolo: sim.Series{Name: "best single provider"},
 		Union:    sim.Series{Name: "federated union"},
 	}
+	var points []int
 	for m := cfg.MinPerFleet; m <= cfg.MaxPerFleet; m += cfg.Step {
+		points = append(points, m)
+	}
+	gains, err := exec.Map(cfg.Workers, len(points), func(i int) (*core.FederationGain, error) {
+		m := points[i]
+		rng := exec.RNG(cfg.Seed, int64(m))
 		providers := make([]core.ProviderConfig, cfg.Providers)
 		for p := 0; p < cfg.Providers; p++ {
 			c := orbit.RandomCircular(m, cfg.AltitudeKm, rng)
@@ -68,12 +76,14 @@ func Federation(cfg FederationConfig) (*FederationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := n.FederationGain(0, cfg.GridSize)
-		if err != nil {
-			return nil, err
-		}
-		res.BestSolo.Append(float64(m), g.BestSolo, 0)
-		res.Union.Append(float64(m), g.Union, 0)
+		return n.FederationGain(0, cfg.GridSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range points {
+		res.BestSolo.Append(float64(m), gains[i].BestSolo, 0)
+		res.Union.Append(float64(m), gains[i].Union, 0)
 	}
 	return res, nil
 }
@@ -106,7 +116,7 @@ func HotspotScenario(cfg FederationConfig, center geo.LatLon, samples int) (solo
 	if samples <= 0 {
 		return 0, 0, fmt.Errorf("experiments: hotspot: samples must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.RNG(cfg.Seed)
 	fleets := make([][]orbit.Satellite, cfg.Providers)
 	for p := range fleets {
 		fleets[p] = orbit.RandomCircular(cfg.MaxPerFleet, cfg.AltitudeKm, rng).Satellites
@@ -120,20 +130,36 @@ func HotspotScenario(cfg FederationConfig, center geo.LatLon, samples int) (solo
 		}
 		return false
 	}
-	var all []orbit.Satellite
-	for _, f := range fleets {
-		all = append(all, f...)
+	// Each time sample is a pure visibility probe over the (now fixed)
+	// fleets; fan them out on the exec pool. The federation sees a sample
+	// iff any provider does — the union of the fleets.
+	type sample struct {
+		solo []bool
+		fed  bool
+	}
+	outs, mapErr := exec.Map(cfg.Workers, samples, func(i int) (sample, error) {
+		t := day * float64(i) / float64(samples)
+		s := sample{solo: make([]bool, len(fleets))}
+		for p, fl := range fleets {
+			if visibleAt(fl, t) {
+				s.solo[p] = true
+				s.fed = true
+			}
+		}
+		return s, nil
+	})
+	if mapErr != nil {
+		return 0, 0, mapErr
 	}
 	soloHits := make([]int, cfg.Providers)
 	fedHits := 0
-	for i := 0; i < samples; i++ {
-		t := day * float64(i) / float64(samples)
-		for p, fl := range fleets {
-			if visibleAt(fl, t) {
+	for _, s := range outs {
+		for p, hit := range s.solo {
+			if hit {
 				soloHits[p]++
 			}
 		}
-		if visibleAt(all, t) {
+		if s.fed {
 			fedHits++
 		}
 	}

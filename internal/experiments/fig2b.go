@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
@@ -25,6 +25,7 @@ type Fig2bConfig struct {
 	Ground                 geo.LatLon
 	MinElevationDeg        float64
 	Seed                   int64
+	Workers                int // parallel trial workers; ≤0 = one per CPU
 }
 
 // DefaultFig2b mirrors the paper's setup: 780 km satellites, a fixed user
@@ -53,7 +54,9 @@ type Fig2bResult struct {
 	PathFraction sim.Series // N vs fraction of trials with a path
 }
 
-// Fig2b runs the sweep.
+// Fig2b runs the sweep. Trials are independent tasks on the exec pool,
+// each owning an RNG derived from (Seed, N, trial), so the result is
+// bitwise identical at any worker count.
 func Fig2b(cfg Fig2bConfig) (*Fig2bResult, error) {
 	if cfg.MinSats <= 0 || cfg.MaxSats < cfg.MinSats || cfg.Step <= 0 {
 		return nil, fmt.Errorf("experiments: fig2b: bad sweep [%d,%d] step %d",
@@ -62,7 +65,6 @@ func Fig2b(cfg Fig2bConfig) (*Fig2bResult, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: fig2b: trials %d must be positive", cfg.Trials)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	tcfg := topo.DefaultConfig()
 	tcfg.MinElevationDeg = cfg.MinElevationDeg
 	// The paper's §4 simulation is deliberately simplified: any two
@@ -79,22 +81,44 @@ func Fig2b(cfg Fig2bConfig) (*Fig2bResult, error) {
 	users := []topo.UserSpec{{ID: "user", Provider: "p", Pos: cfg.User}}
 	grounds := []topo.GroundSpec{{ID: "gs", Provider: "p", Pos: cfg.Ground}}
 
+	var points []int
 	for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+		points = append(points, n)
+	}
+
+	type trialOut struct {
+		ok    bool
+		latMs float64
+	}
+	outs, err := exec.Map(cfg.Workers, len(points)*cfg.Trials, func(i int) (trialOut, error) {
+		n, trial := points[i/cfg.Trials], i%cfg.Trials
+		rng := exec.RNG(cfg.Seed, int64(n), int64(trial))
+		c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
+		specs := make([]topo.SatSpec, c.Len())
+		for si, s := range c.Satellites {
+			specs[si] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
+		}
+		snap := topo.Build(0, tcfg, specs, grounds, users)
+		p, err := routing.ShortestPath(snap, "user", "gs", routing.LatencyCost(0))
+		if err != nil {
+			return trialOut{}, nil // no path this trial — part of the measurement
+		}
+		return trialOut{ok: true, latMs: interSatelliteDelayS(snap, p) * 1000}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for pi, n := range points {
 		var lat sim.Histogram
 		paths := 0
 		for trial := 0; trial < cfg.Trials; trial++ {
-			c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
-			specs := make([]topo.SatSpec, c.Len())
-			for i, s := range c.Satellites {
-				specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
-			}
-			snap := topo.Build(0, tcfg, specs, grounds, users)
-			p, err := routing.ShortestPath(snap, "user", "gs", routing.LatencyCost(0))
-			if err != nil {
+			out := outs[pi*cfg.Trials+trial]
+			if !out.ok {
 				continue
 			}
 			paths++
-			lat.Add(interSatelliteDelayS(snap, p) * 1000)
+			lat.Add(out.latMs)
 		}
 		res.PathFraction.Append(float64(n), float64(paths)/float64(cfg.Trials), 0)
 		if lat.Count() > 0 {
@@ -121,15 +145,21 @@ func interSatelliteDelayS(snap *topo.Snapshot, p routing.Path) float64 {
 	return total
 }
 
-// CSV writes both series.
+// CSV writes both series over every swept N. Small N where zero trials
+// found a path — the region behind the paper's "~4 satellites minimum"
+// observation — still get a row, with empty latency fields.
 func (r *Fig2bResult) CSV(w io.Writer) error {
-	frac := map[float64]float64{}
-	for _, p := range r.PathFraction.Points {
-		frac[p.X] = p.Y
+	lat := map[float64]sim.Point{}
+	for _, p := range r.Latency.Points {
+		lat[p.X] = p
 	}
 	var rows [][]string
-	for _, p := range r.Latency.Points {
-		rows = append(rows, []string{f(p.X), f(p.Y), f(p.YErr), f(frac[p.X])})
+	for _, p := range r.PathFraction.Points {
+		mean, stddev := "", ""
+		if l, ok := lat[p.X]; ok {
+			mean, stddev = f(l.Y), f(l.YErr)
+		}
+		rows = append(rows, []string{f(p.X), mean, stddev, f(p.Y)})
 	}
 	return WriteCSV(w, []string{"satellites", "latency_ms_mean", "latency_ms_stddev", "path_fraction"}, rows)
 }

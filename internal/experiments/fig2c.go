@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
@@ -18,6 +18,7 @@ type Fig2cConfig struct {
 	MinElevationDeg        float64
 	GridSize               int // Fibonacci grid points for the exact union
 	Seed                   int64
+	Workers                int // parallel trial workers; ≤0 = one per CPU
 }
 
 // DefaultFig2c mirrors the paper: random orbits at 780 km, coverage under
@@ -37,7 +38,9 @@ type Fig2cResult struct {
 	Exact     sim.Series // true union coverage (ablation)
 }
 
-// Fig2c runs the sweep.
+// Fig2c runs the sweep. Trials are independent tasks on the exec pool,
+// each owning an RNG derived from (Seed, N, trial), so the result is
+// bitwise identical at any worker count.
 func Fig2c(cfg Fig2cConfig) (*Fig2cResult, error) {
 	if cfg.MinSats <= 0 || cfg.MaxSats < cfg.MinSats || cfg.Step <= 0 {
 		return nil, fmt.Errorf("experiments: fig2c: bad sweep [%d,%d] step %d",
@@ -46,18 +49,36 @@ func Fig2c(cfg Fig2cConfig) (*Fig2cResult, error) {
 	if cfg.Trials <= 0 || cfg.GridSize <= 0 {
 		return nil, fmt.Errorf("experiments: fig2c: trials and grid must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Fig2cResult{
 		WorstCase: sim.Series{Name: "worst-case overlap rule"},
 		Exact:     sim.Series{Name: "exact union"},
 	}
+	var points []int
 	for n := cfg.MinSats; n <= cfg.MaxSats; n += cfg.Step {
+		points = append(points, n)
+	}
+	type trialOut struct {
+		wc, ex float64
+	}
+	outs, err := exec.Map(cfg.Workers, len(points)*cfg.Trials, func(i int) (trialOut, error) {
+		n, trial := points[i/cfg.Trials], i%cfg.Trials
+		rng := exec.RNG(cfg.Seed, int64(n), int64(trial))
+		c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
+		caps := c.Footprints(0, cfg.MinElevationDeg)
+		return trialOut{
+			wc: geo.WorstCaseCoverageFraction(caps),
+			ex: geo.ExactCoverageFraction(caps, cfg.GridSize),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range points {
 		var wc, ex sim.Histogram
 		for trial := 0; trial < cfg.Trials; trial++ {
-			c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
-			caps := c.Footprints(0, cfg.MinElevationDeg)
-			wc.Add(geo.WorstCaseCoverageFraction(caps))
-			ex.Add(geo.ExactCoverageFraction(caps, cfg.GridSize))
+			out := outs[pi*cfg.Trials+trial]
+			wc.Add(out.wc)
+			ex.Add(out.ex)
 		}
 		res.WorstCase.Append(float64(n), wc.Mean(), wc.Stddev())
 		res.Exact.Append(float64(n), ex.Mean(), ex.Stddev())

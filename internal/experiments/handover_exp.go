@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/handover"
 	"github.com/openspace-project/openspace/internal/orbit"
@@ -19,6 +20,7 @@ type HandoverConfig struct {
 	HorizonS        float64
 	Predictive      handover.PredictiveCosts
 	Reauth          handover.ReauthCosts
+	Workers         int // parallel scheme workers; ≤0 = one per CPU
 }
 
 // DefaultHandover observes a Pittsburgh user for one hour.
@@ -68,15 +70,18 @@ func HandoverExperiment(cfg HandoverConfig) (*HandoverResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred, err := p.SimulatePredictive(0, cfg.HorizonS, cfg.Predictive)
+	// The two schemes replay the same sky independently (the predictor is
+	// immutable after construction), so they run as parallel tasks.
+	timelines, err := exec.Map(cfg.Workers, 2, func(i int) (*handover.Timeline, error) {
+		if i == 0 {
+			return p.SimulatePredictive(0, cfg.HorizonS, cfg.Predictive)
+		}
+		return p.SimulateReauth(0, cfg.HorizonS, cfg.Reauth)
+	})
 	if err != nil {
 		return nil, err
 	}
-	re, err := p.SimulateReauth(0, cfg.HorizonS, cfg.Reauth)
-	if err != nil {
-		return nil, err
-	}
-	return &HandoverResult{Predictive: pred, Reauth: re}, nil
+	return &HandoverResult{Predictive: timelines[0], Reauth: timelines[1]}, nil
 }
 
 // CSV writes the per-scheme summary.

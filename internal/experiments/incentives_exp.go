@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 )
@@ -28,6 +28,7 @@ type IncentivesConfig struct {
 	// Value of availability.
 	RevenuePerUserHour float64
 	Seed               int64
+	Workers            int // parallel availability-sample workers; ≤0 = one per CPU
 }
 
 // DefaultIncentives models a 24-satellite incumbent with 50k users against
@@ -58,41 +59,49 @@ func IncentivesExperiment(cfg IncentivesConfig) (*IncentivesResult, error) {
 	if cfg.BigSats <= 0 || cfg.SmallFirms <= 0 || cfg.SmallSats <= 0 {
 		return nil, fmt.Errorf("experiments: incentives: fleet sizes must be positive")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.RNG(cfg.Seed)
 	big := orbit.RandomCircular(cfg.BigSats, cfg.AltitudeKm, rng).Satellites
 	var small []orbit.Satellite
 	for f := 0; f < cfg.SmallFirms; f++ {
 		small = append(small, orbit.RandomCircular(cfg.SmallSats, cfg.AltitudeKm, rng).Satellites...)
 	}
 
-	// Availability for a representative mid-latitude user.
+	// Availability for a representative mid-latitude user: each day-time
+	// sample is a pure visibility probe, fanned out on the exec pool.
 	user := worldUser()
 	const day = 86400.0
 	const samples = 400
-	avail := func(fleets ...[]orbit.Satellite) float64 {
-		hits := 0
-		for i := 0; i < samples; i++ {
+	avail := func(fleets ...[]orbit.Satellite) (float64, error) {
+		vis, err := exec.Map(cfg.Workers, samples, func(i int) (bool, error) {
 			t := day * float64(i) / samples
-			visible := false
 			for _, fl := range fleets {
 				for _, s := range fl {
 					if s.Elements.Visible(user, t, cfg.MinElevationDeg) {
-						visible = true
-						break
+						return true, nil
 					}
 				}
-				if visible {
-					break
-				}
 			}
-			if visible {
+			return false, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		hits := 0
+		for _, v := range vis {
+			if v {
 				hits++
 			}
 		}
-		return float64(hits) / samples
+		return float64(hits) / samples, nil
 	}
-	solo := avail(big)
-	federated := avail(big, small)
+	solo, err := avail(big)
+	if err != nil {
+		return nil, err
+	}
+	federated, err := avail(big, small)
+	if err != nil {
+		return nil, err
+	}
 
 	// Settlement channel over a month.
 	ledger := economics.NewLedger("big")

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/mac"
 	"github.com/openspace-project/openspace/internal/sim"
 )
@@ -18,6 +19,7 @@ type MACConfig struct {
 	PerStationRate                 float64 // packets/s per satellite
 	Duration                       time.Duration
 	Seed                           int64
+	Workers                        int // parallel sweep-point workers; ≤0 = one per CPU
 }
 
 // DefaultMAC sweeps 2..30 contenders at 2 pkt/s each for a minute.
@@ -47,15 +49,32 @@ func MACExperiment(cfg MACConfig) (*MACResult, error) {
 		CSMAOverhead:      sim.Series{Name: "CSMA/CA overhead fraction"},
 		CSMACollisionRate: sim.Series{Name: "CSMA/CA collision rate"},
 	}
+	var points []int
 	for n := cfg.MinStations; n <= cfg.MaxStations; n += cfg.Step {
+		points = append(points, n)
+	}
+	// Each sweep point runs both schemes from the explicit per-run seeds
+	// the mac package already takes, so points parallelise untouched.
+	type pointOut struct {
+		cs, td mac.Stats
+	}
+	outs, err := exec.Map(cfg.Workers, len(points), func(i int) (pointOut, error) {
+		n := points[i]
 		cs, err := mac.RunCSMA(mac.DefaultCSMA(n, cfg.PerStationRate), cfg.Duration, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
 		td, err := mac.RunTDMA(mac.DefaultTDMA(n, cfg.PerStationRate), cfg.Duration, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
+		return pointOut{cs: cs, td: td}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range points {
+		cs, td := outs[i].cs, outs[i].td
 		x := float64(n)
 		res.CSMADelay.Append(x, float64(cs.MeanAccessDelay)/1e6, 0)
 		res.TDMADelay.Append(x, float64(td.MeanAccessDelay)/1e6, 0)

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
@@ -22,6 +22,7 @@ type ResilienceConfig struct {
 	Step        int
 	Trials      int
 	Seed        int64
+	Workers     int // parallel trial workers; ≤0 = one per CPU
 }
 
 // DefaultResilience kills up to 40 of Iridium's 66 satellites.
@@ -62,37 +63,65 @@ func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 	tcfg := topo.DefaultConfig()
 	tcfg.MinElevationDeg = 0 // isolate ISL-mesh resilience from access scarcity
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &ResilienceResult{
 		Connectivity:  sim.Series{Name: "pairs connected"},
 		LatencyMs:     sim.Series{Name: "mean latency (ms)"},
 		DisjointPaths: sim.Series{Name: "mean disjoint paths"},
 	}
+	var points []int
 	for k := 0; k <= cfg.MaxFailures; k += cfg.Step {
+		points = append(points, k)
+	}
+	// One task per (failure count, trial); the kill set comes from a
+	// per-task RNG so the curves are bitwise identical at any worker count.
+	type trialOut struct {
+		connected, pairs int
+		latMs            []float64
+		disjoint         []float64
+	}
+	outs, err := exec.Map(cfg.Workers, len(points)*cfg.Trials, func(i int) (trialOut, error) {
+		k, trial := points[i/cfg.Trials], i%cfg.Trials
+		rng := exec.RNG(cfg.Seed, int64(k), int64(trial))
+		// Kill k distinct satellites.
+		alive := rng.Perm(c.Len())[k:]
+		sats := make([]topo.SatSpec, 0, len(alive))
+		for _, idx := range alive {
+			s := c.Satellites[idx]
+			sats = append(sats, topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements})
+		}
+		snap := topo.Build(0, tcfg, sats, grounds, users)
+		var out trialOut
+		for _, u := range users {
+			for _, g := range grounds {
+				out.pairs++
+				p, err := routing.ShortestPath(snap, u.ID, g.ID, routing.LatencyCost(0))
+				if err != nil {
+					continue
+				}
+				out.connected++
+				out.latMs = append(out.latMs, p.DelayS*1000)
+				if dp, err := routing.DisjointPaths(snap, u.ID, g.ID, routing.LatencyCost(0), 5); err == nil {
+					out.disjoint = append(out.disjoint, float64(len(dp)))
+				}
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, k := range points {
 		connected, pairs := 0, 0
 		var lat, disj sim.Histogram
 		for trial := 0; trial < cfg.Trials; trial++ {
-			// Kill k distinct satellites.
-			alive := rng.Perm(c.Len())[k:]
-			sats := make([]topo.SatSpec, 0, len(alive))
-			for _, idx := range alive {
-				s := c.Satellites[idx]
-				sats = append(sats, topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements})
+			out := outs[pi*cfg.Trials+trial]
+			connected += out.connected
+			pairs += out.pairs
+			for _, v := range out.latMs {
+				lat.Add(v)
 			}
-			snap := topo.Build(0, tcfg, sats, grounds, users)
-			for _, u := range users {
-				for _, g := range grounds {
-					pairs++
-					p, err := routing.ShortestPath(snap, u.ID, g.ID, routing.LatencyCost(0))
-					if err != nil {
-						continue
-					}
-					connected++
-					lat.Add(p.DelayS * 1000)
-					if dp, err := routing.DisjointPaths(snap, u.ID, g.ID, routing.LatencyCost(0), 5); err == nil {
-						disj.Add(float64(len(dp)))
-					}
-				}
+			for _, v := range out.disjoint {
+				disj.Add(v)
 			}
 		}
 		x := float64(k)

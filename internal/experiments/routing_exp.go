@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
@@ -22,6 +22,7 @@ type RoutingAblationConfig struct {
 	FlowBps float64
 	Users   int
 	Seed    int64
+	Workers int // parallel path-computation workers; ≤0 = one per CPU
 }
 
 // DefaultRoutingAblation loads the network well past any single link's
@@ -56,7 +57,7 @@ func RoutingAblation(cfg RoutingAblationConfig) (*RoutingAblationResult, error) 
 	for i, s := range c.Satellites {
 		sats[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.RNG(cfg.Seed)
 	positions := sim.CityUsers(cfg.Users, 30, rng)
 	users := make([]topo.UserSpec, cfg.Users)
 	userIDs := make([]string, cfg.Users)
@@ -82,18 +83,33 @@ func RoutingAblation(cfg RoutingAblationConfig) (*RoutingAblationResult, error) 
 
 	res := &RoutingAblationResult{}
 
-	// Proactive: load-blind shortest paths, then tally the damage.
+	// Proactive: load-blind shortest paths. Path computation is a
+	// read-only query per flow, so it fans out on the exec pool; load
+	// commits then replay in flow order to keep the tally deterministic.
+	type proOut struct {
+		ok   bool
+		path routing.Path
+	}
+	proOuts, err := exec.Map(cfg.Workers, len(flows), func(i int) (proOut, error) {
+		p, err := routing.ShortestPath(snap, flows[i].src, flows[i].dst, routing.LatencyCost(0))
+		if err != nil {
+			return proOut{}, nil // unreachable flow — part of the measurement
+		}
+		return proOut{ok: true, path: p}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	proactiveLoad := routing.NewEdgeLoad(snap)
 	var proDelay sim.Histogram
 	proPaths := 0
-	for _, fl := range flows {
-		p, err := routing.ShortestPath(snap, fl.src, fl.dst, routing.LatencyCost(0))
-		if err != nil {
+	for _, out := range proOuts {
+		if !out.ok {
 			continue
 		}
 		proPaths++
-		proDelay.Add(p.DelayS * 1000)
-		proactiveLoad.Commit(p, cfg.FlowBps)
+		proDelay.Add(out.path.DelayS * 1000)
+		proactiveLoad.Commit(out.path, cfg.FlowBps)
 	}
 	over := map[[2]string]bool{}
 	for _, id := range snap.Nodes() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/phy"
@@ -20,6 +21,7 @@ type SpectrumConfig struct {
 	ChannelBudget   int // channels available; satellites beyond it stay silent
 	MinElevationDeg float64
 	Seed            int64
+	Workers         int // parallel sweep-point workers; ≤0 = one per CPU
 }
 
 // DefaultSpectrum sweeps 1..16 gateways against an 8-channel Ku budget.
@@ -63,29 +65,41 @@ func SpectrumExperiment(cfg SpectrumConfig) (*SpectrumResult, error) {
 		Band: phy.BandKu, Channels: cfg.ChannelBudget,
 		MinElevationDeg: cfg.MinElevationDeg,
 	}
-	for _, n := range cfg.StationCounts {
+	// Each station count is an independent assignment problem; solve and
+	// verify them in parallel, collecting results in sweep order.
+	type pointOut struct {
+		used, conflicts, silenced int
+	}
+	outs, err := exec.Map(cfg.Workers, len(cfg.StationCounts), func(i int) (pointOut, error) {
+		n := cfg.StationCounts[i]
 		if n > len(cities) {
-			return nil, fmt.Errorf("experiments: spectrum: only %d city sites available", len(cities))
+			return pointOut{}, fmt.Errorf("experiments: spectrum: only %d city sites available", len(cities))
 		}
 		stations := make([]geo.LatLon, n)
-		for i := 0; i < n; i++ {
-			stations[i] = cities[i].Pos
+		for si := 0; si < n; si++ {
+			stations[si] = cities[si].Pos
 		}
 		plan, err := spectrum.Assign(scfg, sats, stations)
 		if err != nil {
-			return nil, err
+			return pointOut{}, err
 		}
 		if bad := spectrum.Verify(scfg, plan, sats, stations); len(bad) != 0 {
-			return nil, fmt.Errorf("experiments: spectrum: plan fails verification: %v", bad)
+			return pointOut{}, fmt.Errorf("experiments: spectrum: plan fails verification: %v", bad)
 		}
 		used := map[int]bool{}
 		for _, ch := range plan.Assignment {
 			used[ch] = true
 		}
+		return pointOut{used: len(used), conflicts: plan.Conflicts, silenced: len(plan.Unassigned)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range cfg.StationCounts {
 		x := float64(n)
-		res.ChannelsUsed.Append(x, float64(len(used)), 0)
-		res.Conflicts.Append(x, float64(plan.Conflicts), 0)
-		res.Silenced.Append(x, float64(len(plan.Unassigned)), 0)
+		res.ChannelsUsed.Append(x, float64(outs[i].used), 0)
+		res.Conflicts.Append(x, float64(outs[i].conflicts), 0)
+		res.Silenced.Append(x, float64(outs[i].silenced), 0)
 	}
 	return res, nil
 }

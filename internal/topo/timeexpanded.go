@@ -1,6 +1,10 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/exec"
+)
 
 // TimeExpanded is a series of snapshots at a fixed cadence — the network's
 // public, precomputable evolution (§2.2). Proactive routing computes paths
@@ -13,7 +17,10 @@ type TimeExpanded struct {
 }
 
 // BuildTimeExpanded constructs snapshots at startS, startS+intervalS, …
-// covering [startS, startS+horizonS].
+// covering [startS, startS+horizonS]. Each snapshot is an independent pure
+// function of its timestamp, so they are built in parallel on cfg.Workers
+// workers (one per CPU when ≤0) and collected in time order; the resulting
+// series is identical at any worker count.
 func BuildTimeExpanded(startS, horizonS, intervalS float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) (*TimeExpanded, error) {
 	if intervalS <= 0 {
 		return nil, fmt.Errorf("topo: interval %.1f must be positive", intervalS)
@@ -21,13 +28,14 @@ func BuildTimeExpanded(startS, horizonS, intervalS float64, cfg Config, sats []S
 	if horizonS < 0 {
 		return nil, fmt.Errorf("topo: horizon %.1f must be non-negative", horizonS)
 	}
-	te := &TimeExpanded{StartS: startS, IntervalS: intervalS}
 	steps := int(horizonS/intervalS) + 1
-	for i := 0; i < steps; i++ {
-		t := startS + float64(i)*intervalS
-		te.Snaps = append(te.Snaps, Build(t, cfg, sats, grounds, users))
+	snaps, err := exec.Map(cfg.Workers, steps, func(i int) (*Snapshot, error) {
+		return Build(startS+float64(i)*intervalS, cfg, sats, grounds, users), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return te, nil
+	return &TimeExpanded{StartS: startS, IntervalS: intervalS, Snaps: snaps}, nil
 }
 
 // At returns the snapshot in force at time t: the latest snapshot whose

@@ -170,6 +170,11 @@ type Config struct {
 	LaserISLBps float64
 	GroundBps   float64
 	AccessBps   float64
+	// Workers bounds the parallel snapshot builders BuildTimeExpanded
+	// fans out; ≤0 means one per CPU, 1 forces serial builds. Snapshots
+	// are pure functions of their timestamp and are collected in time
+	// order, so the series is identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns feasibility rules derived from the phy package's
