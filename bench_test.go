@@ -15,6 +15,7 @@ import (
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
 	"github.com/openspace-project/openspace/internal/topo"
+	"github.com/openspace-project/openspace/internal/traffic"
 )
 
 // BenchmarkFig2aConstellation regenerates Figure 2(a): the reference
@@ -296,6 +297,107 @@ func BenchmarkDijkstra(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// iridiumTrafficNetwork builds the Iridium snapshot with two gateways and
+// phy-derived capacities: the constellation-scale input for the flow
+// benchmarks.
+func iridiumTrafficNetwork(b *testing.B) *traffic.Network {
+	b.Helper()
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements, HasLaser: i%2 == 0}
+	}
+	grounds := []topo.GroundSpec{
+		{ID: "gs-seattle", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}},
+		{ID: "gs-nairobi", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}},
+	}
+	snap := topo.Build(0, topo.DefaultConfig(), specs, grounds, nil)
+	net := traffic.NewNetwork(snap)
+	net.Recapacitate(traffic.DefaultCapacityModel())
+	return net
+}
+
+// smallTrafficNetwork is the hand-sized diamond used to measure solver
+// overhead away from graph-size effects.
+func smallTrafficNetwork(b *testing.B) *traffic.Network {
+	b.Helper()
+	nodes := []topo.Node{
+		{ID: "s", Kind: topo.KindGroundStation}, {ID: "a", Kind: topo.KindSatellite},
+		{ID: "b", Kind: topo.KindSatellite}, {ID: "t", Kind: topo.KindGroundStation},
+	}
+	var edges []topo.Edge
+	for _, e := range [][2]string{{"s", "a"}, {"s", "b"}, {"a", "b"}, {"a", "t"}, {"b", "t"}} {
+		edges = append(edges, topo.Edge{
+			From: e[0], To: e[1], Kind: topo.LinkISLRF,
+			DistanceKm: 1000, DelayS: 0.003, CapacityBps: 10e9,
+		})
+	}
+	snap, err := topo.NewSnapshot(0, nodes, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return traffic.NewNetwork(snap)
+}
+
+// BenchmarkMaxFlow measures one Dinic max-flow + min-cut solve.
+func BenchmarkMaxFlow(b *testing.B) {
+	b.Run("small", func(b *testing.B) {
+		net := smallTrafficNetwork(b)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := traffic.MaxFlow(net, "s", "t"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iridium", func(b *testing.B) {
+		net := iridiumTrafficNetwork(b)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := traffic.MaxFlow(net, "gs-seattle", "gs-nairobi"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMaxMinFair measures one progressive-filling allocation.
+func BenchmarkMaxMinFair(b *testing.B) {
+	b.Run("small", func(b *testing.B) {
+		net := smallTrafficNetwork(b)
+		demands := []traffic.Demand{
+			{Src: "s", Dst: "t", OfferedBps: 8e9},
+			{Src: "a", Dst: "t", OfferedBps: 8e9},
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := traffic.MaxMinFair(net, demands, traffic.AllocConfig{KPaths: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iridium", func(b *testing.B) {
+		net := iridiumTrafficNetwork(b)
+		demands := []traffic.Demand{
+			{Src: "gs-seattle", Dst: "gs-nairobi", OfferedBps: 2e9},
+			{Src: "gs-nairobi", Dst: "gs-seattle", OfferedBps: 1e9},
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := traffic.MaxMinFair(net, demands, traffic.AllocConfig{KPaths: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEndToEndSend measures one associated Send through a federation.

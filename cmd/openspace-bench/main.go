@@ -29,126 +29,154 @@ type renderer interface {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"one of: all, fig2a, fig2b, fig2c, federation, handover, mac, economics, links, incentives, routingablation, dtn, resilience, spectrum, criticalmass")
+		"one of: all, or a name from -list")
 	csvDir := flag.String("csvdir", "", "directory to write per-experiment CSV files (optional)")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	workers := flag.Int("workers", 0, "parallel workers per experiment (0 = one per CPU, 1 = serial); results are identical at any setting")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
+	if *list {
+		for _, name := range experimentNames() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if err := run(*experiment, *csvDir, *quick, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "openspace-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, csvDir string, quick bool, workers int) error {
-	type entry struct {
-		name string
-		fn   func() (renderer, error)
-	}
-	table := []entry{
-		{"fig2a", func() (renderer, error) { return experiments.Fig2a(gridSize(quick)) }},
-		{"fig2b", func() (renderer, error) {
-			cfg := experiments.DefaultFig2b()
-			if quick {
-				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 6, 8
-			}
-			cfg.Workers = workers
-			return experiments.Fig2b(cfg)
-		}},
-		{"fig2c", func() (renderer, error) {
-			cfg := experiments.DefaultFig2c()
-			if quick {
-				cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 6, 8, 2000
-			}
-			cfg.Workers = workers
-			return experiments.Fig2c(cfg)
-		}},
-		{"federation", func() (renderer, error) {
-			cfg := experiments.DefaultFederation()
-			if quick {
-				cfg.MaxPerFleet, cfg.Step, cfg.GridSize = 12, 4, 2000
-			}
-			cfg.Workers = workers
-			return experiments.Federation(cfg)
-		}},
-		{"handover", func() (renderer, error) {
-			cfg := experiments.DefaultHandover()
-			if quick {
-				cfg.HorizonS = 1200
-			}
-			cfg.Workers = workers
-			return experiments.HandoverExperiment(cfg)
-		}},
-		{"mac", func() (renderer, error) {
-			cfg := experiments.DefaultMAC()
-			if quick {
-				cfg.MaxStations = 12
-			}
-			cfg.Workers = workers
-			return experiments.MACExperiment(cfg)
-		}},
-		{"economics", func() (renderer, error) {
-			cfg := experiments.DefaultEcon()
-			if quick {
-				cfg.Transfers = 40
-			}
-			cfg.Workers = workers
-			return experiments.EconExperiment(cfg)
-		}},
-		{"links", func() (renderer, error) {
-			return experiments.LinksExperiment(experiments.DefaultLinkDistances())
-		}},
-		{"routingablation", func() (renderer, error) {
-			cfg := experiments.DefaultRoutingAblation()
-			cfg.Workers = workers
-			return experiments.RoutingAblation(cfg)
-		}},
-		{"spectrum", func() (renderer, error) {
-			cfg := experiments.DefaultSpectrum()
-			cfg.Workers = workers
-			return experiments.SpectrumExperiment(cfg)
-		}},
-		{"resilience", func() (renderer, error) {
-			cfg := experiments.DefaultResilience()
-			if quick {
-				cfg.MaxFailures, cfg.Step, cfg.Trials = 24, 8, 4
-			}
-			cfg.Workers = workers
-			return experiments.Resilience(cfg)
-		}},
-		{"dtn", func() (renderer, error) {
-			cfg := experiments.DefaultDTN()
-			if quick {
-				cfg.FleetSizes = []int{4, 12}
-				cfg.Trials, cfg.HorizonS, cfg.IntervalS = 3, 3*3600, 300
-			}
-			cfg.Workers = workers
-			return experiments.DTNExperiment(cfg)
-		}},
-		{"incentives", func() (renderer, error) {
-			cfg := experiments.DefaultIncentives()
-			cfg.Workers = workers
-			return experiments.IncentivesExperiment(cfg)
-		}},
-		{"criticalmass", func() (renderer, error) {
-			cfg := experiments.DefaultCriticalMass()
-			if quick {
-				cfg.MaxSats, cfg.Step, cfg.Trials = 40, 8, 3
-			}
-			cfg.Workers = workers
-			return experiments.CriticalMass(cfg)
-		}},
-	}
+// entry is one registered experiment.
+type entry struct {
+	name string
+	fn   func(quick bool, workers int) (renderer, error)
+}
 
+// experimentNames lists the registry in run order, for -list and the
+// unknown-experiment error.
+func experimentNames() []string {
+	names := make([]string, len(experimentTable))
+	for i, e := range experimentTable {
+		names[i] = e.name
+	}
+	return names
+}
+
+// experimentTable registers every experiment by name.
+var experimentTable = []entry{
+	{"fig2a", func(quick bool, workers int) (renderer, error) { return experiments.Fig2a(gridSize(quick)) }},
+	{"fig2b", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultFig2b()
+		if quick {
+			cfg.MaxSats, cfg.Step, cfg.Trials = 40, 6, 8
+		}
+		cfg.Workers = workers
+		return experiments.Fig2b(cfg)
+	}},
+	{"fig2c", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultFig2c()
+		if quick {
+			cfg.MaxSats, cfg.Step, cfg.Trials, cfg.GridSize = 60, 6, 8, 2000
+		}
+		cfg.Workers = workers
+		return experiments.Fig2c(cfg)
+	}},
+	{"capacity", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultCapacity()
+		if quick {
+			cfg.MaxSats, cfg.Step, cfg.Trials, cfg.Users = 40, 8, 3, 120
+		}
+		cfg.Workers = workers
+		return experiments.Capacity(cfg)
+	}},
+	{"federation", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultFederation()
+		if quick {
+			cfg.MaxPerFleet, cfg.Step, cfg.GridSize = 12, 4, 2000
+		}
+		cfg.Workers = workers
+		return experiments.Federation(cfg)
+	}},
+	{"handover", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultHandover()
+		if quick {
+			cfg.HorizonS = 1200
+		}
+		cfg.Workers = workers
+		return experiments.HandoverExperiment(cfg)
+	}},
+	{"mac", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultMAC()
+		if quick {
+			cfg.MaxStations = 12
+		}
+		cfg.Workers = workers
+		return experiments.MACExperiment(cfg)
+	}},
+	{"economics", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultEcon()
+		if quick {
+			cfg.Transfers = 40
+		}
+		cfg.Workers = workers
+		return experiments.EconExperiment(cfg)
+	}},
+	{"links", func(quick bool, workers int) (renderer, error) {
+		return experiments.LinksExperiment(experiments.DefaultLinkDistances())
+	}},
+	{"routingablation", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultRoutingAblation()
+		cfg.Workers = workers
+		return experiments.RoutingAblation(cfg)
+	}},
+	{"spectrum", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultSpectrum()
+		cfg.Workers = workers
+		return experiments.SpectrumExperiment(cfg)
+	}},
+	{"resilience", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultResilience()
+		if quick {
+			cfg.MaxFailures, cfg.Step, cfg.Trials = 24, 8, 4
+		}
+		cfg.Workers = workers
+		return experiments.Resilience(cfg)
+	}},
+	{"dtn", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultDTN()
+		if quick {
+			cfg.FleetSizes = []int{4, 12}
+			cfg.Trials, cfg.HorizonS, cfg.IntervalS = 3, 3*3600, 300
+		}
+		cfg.Workers = workers
+		return experiments.DTNExperiment(cfg)
+	}},
+	{"incentives", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultIncentives()
+		cfg.Workers = workers
+		return experiments.IncentivesExperiment(cfg)
+	}},
+	{"criticalmass", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultCriticalMass()
+		if quick {
+			cfg.MaxSats, cfg.Step, cfg.Trials = 40, 8, 3
+		}
+		cfg.Workers = workers
+		return experiments.CriticalMass(cfg)
+	}},
+}
+
+func run(which, csvDir string, quick bool, workers int) error {
 	ran := 0
-	for _, e := range table {
+	for _, e := range experimentTable {
 		if which != "all" && which != e.name {
 			continue
 		}
 		ran++
 		fmt.Printf("=== %s ===\n", e.name)
-		res, err := e.fn()
+		res, err := e.fn(quick, workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
@@ -176,7 +204,7 @@ func run(which, csvDir string, quick bool, workers int) error {
 		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", which)
+		return fmt.Errorf("unknown experiment %q (try -list)", which)
 	}
 	// Hotspot availability is a scalar pair rather than a renderer; print
 	// it alongside federation output.

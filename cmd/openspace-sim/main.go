@@ -21,6 +21,7 @@ import (
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
 	"github.com/openspace-project/openspace/internal/topo"
+	"github.com/openspace-project/openspace/internal/traffic"
 )
 
 func main() {
@@ -32,8 +33,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel topology-snapshot workers (0 = one per CPU, 1 = serial); results are identical at any setting")
 	scenario := flag.Bool("scenario", false, "drive the workload through the discrete-event engine (Poisson arrivals, automatic handovers) instead of fixed transfer counts")
+	capacity := flag.Bool("capacity", false, "print a traffic-engineering report (demand matrix, max-min fair allocation, bottleneck) instead of running transfers")
 	flag.Parse()
 
+	if *capacity {
+		if err := runCapacity(*providers, *users, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scenario {
 		if err := runScenario(*providers, *users, *duration, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
@@ -144,6 +153,107 @@ func run(providers, users, transfers int, bytesPer int64, duration float64, seed
 	for _, pc := range economics.PeeringCandidates(net.Provider(ids[0]).Ledger, bytesPer, 0.3) {
 		fmt.Printf("  peering recommended: %s ↔ %s (symmetry %.2f)\n", pc.A, pc.B, pc.Symmetry)
 	}
+	return nil
+}
+
+// runCapacity reports the federation's traffic-engineering picture at t=0:
+// the gateway-pair demand matrix the user population induces, the max-min
+// fair allocation the constellation can carry, and the bottleneck both the
+// allocator and the top pair's max-flow min-cut identify.
+func runCapacity(providers, users int, seed int64, workers int) error {
+	if providers <= 0 || users <= 0 {
+		return fmt.Errorf("providers and users must be positive")
+	}
+	c, err := orbit.Iridium().Build()
+	if err != nil {
+		return err
+	}
+	fleets := core.SplitConstellation(c, providers, 0.3)
+	sites := []geo.LatLon{
+		{Lat: 47.6, Lon: -122.3}, {Lat: -1.29, Lon: 36.82}, {Lat: 51.51, Lon: -0.13},
+		{Lat: -33.87, Lon: 151.21}, {Lat: 35.68, Lon: 139.69}, {Lat: -23.55, Lon: -46.63},
+	}
+	pcs := make([]core.ProviderConfig, providers)
+	var gws []traffic.Gateway
+	for p := range pcs {
+		gw := traffic.Gateway{ID: fmt.Sprintf("gs-%d", p), Pos: sites[p%len(sites)]}
+		gws = append(gws, gw)
+		pcs[p] = core.ProviderConfig{
+			ID: fmt.Sprintf("prov-%d", p), Satellites: fleets[p], CarriagePerGB: 0.2,
+			GroundStations: []core.GroundStationConfig{{
+				ID: gw.ID, Pos: gw.Pos, BackhaulBps: 10e9, PricePerGB: 0.05, VisitorSurge: 2,
+			}},
+		}
+	}
+	net, err := core.NewNetwork(core.NetworkConfig{
+		Providers: pcs, Seed: seed, Topo: topo.Config{Workers: workers},
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	positions := sim.CityUsers(users, 30, rng)
+	for i, pos := range positions {
+		if _, err := net.AddUser(fmt.Sprintf("user-%d", i), fmt.Sprintf("prov-%d", i%providers), pos); err != nil {
+			return err
+		}
+	}
+	if err := net.BuildTopology(0, 60, 60); err != nil {
+		return err
+	}
+
+	dcfg := traffic.DefaultDemandConfig()
+	dcfg.WindowS = 1 // the report is for the t=0 snapshot
+	dm, err := traffic.BuildDemandMatrix(gws, c.Satellites, positions, dcfg, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traffic engineering: %d providers, %d satellites, %d users, %d gateways (%d lit)\n",
+		providers, c.Len(), users, len(gws), len(dm.LitGateways))
+	fmt.Printf("demand matrix: %d gateway pairs, %.2f Gbps offered (%d local users, %d unserved)\n",
+		len(dm.Demands), dm.OfferedBps()/1e9, dm.LocalUsers, dm.UnservedUsers)
+	if len(dm.Demands) == 0 {
+		return nil
+	}
+
+	tn := traffic.NewNetwork(net.Topology().At(0))
+	tn.Recapacitate(traffic.DefaultCapacityModel())
+	alloc, err := traffic.MaxMinFair(tn, dm.Demands, traffic.AllocConfig{KPaths: 4})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max-min fair allocation: %.2f of %.2f Gbps carried (%.0f%%), Jain fairness %.2f\n",
+		alloc.CarriedBps()/1e9, alloc.OfferedBps()/1e9, alloc.SatisfiedFraction()*100, alloc.JainIndex())
+	if link, util := alloc.MaxUtilization(); util > 0 {
+		fmt.Printf("bottleneck link: %s → %s at %.0f%% utilisation\n", link.From, link.To, util*100)
+	}
+	for i := range alloc.Demands {
+		d := &alloc.Demands[i]
+		state := "satisfied"
+		switch {
+		case d.Path == nil:
+			state = "unroutable"
+		case !d.Satisfied():
+			state = fmt.Sprintf("limited by %s→%s", d.Bottleneck.From, d.Bottleneck.To)
+		}
+		fmt.Printf("  %s → %s: %.0f of %.0f Mbps over %d hops (%s)\n",
+			d.Src, d.Dst, d.RateBps/1e6, d.OfferedBps/1e6, len(d.Path)-1, state)
+	}
+
+	// Max-flow on the heaviest pair: the hard upper bound any routing
+	// scheme could reach, and the physical cut that enforces it.
+	top := dm.Demands[0]
+	for _, d := range dm.Demands[1:] {
+		if d.OfferedBps > top.OfferedBps {
+			top = d
+		}
+	}
+	mf, err := traffic.MaxFlow(tn, top.Src, top.Dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("max flow %s → %s: %.2f Gbps across a %d-link min cut\n",
+		top.Src, top.Dst, mf.ValueBps/1e9, len(mf.MinCut))
 	return nil
 }
 

@@ -104,6 +104,32 @@ func TestResilienceDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func capacityCSV(t *testing.T, workers int) string {
+	t.Helper()
+	cfg := DefaultCapacity()
+	cfg.MaxSats, cfg.Step, cfg.Trials, cfg.Users = 28, 8, 3, 80
+	cfg.Workers = workers
+	r, err := Capacity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCapacityDeterministicAcrossWorkers(t *testing.T) {
+	serial := capacityCSV(t, 1)
+	for _, workers := range []int{2, 4} {
+		if parallel := capacityCSV(t, workers); parallel != serial {
+			t.Errorf("capacity CSV differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, parallel)
+		}
+	}
+}
+
 // TestFig2bCSVEmitsAllSweptN pins the fix for the dropped-row bug: N
 // where zero trials found a path (the paper's below-critical-mass region)
 // must still appear in the CSV, with empty latency fields and the

@@ -267,4 +267,58 @@ func TestFlowSizeBytes(t *testing.T) {
 	}
 }
 
+func TestFlowSizeBytesEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// min == max collapses the distribution to a point.
+	for i := 0; i < 100; i++ {
+		if v := FlowSizeBytes(4096, 4096, 1.2, rng); v != 4096 {
+			t.Fatalf("min==max drew %d, want 4096", v)
+		}
+	}
+	// Alpha near zero makes the tail so heavy nearly every draw clamps to
+	// the maximum, but never beyond it.
+	atMax := 0
+	for i := 0; i < 1000; i++ {
+		v := FlowSizeBytes(1000, 1e6, 1e-9, rng)
+		if v < 1000 || v > 1e6 {
+			t.Fatalf("alpha→0 drew %d, out of [1000, 1e6]", v)
+		}
+		if v == 1e6 {
+			atMax++
+		}
+	}
+	if atMax < 990 {
+		t.Errorf("alpha→0 clamped to max only %d/1000 times", atMax)
+	}
+	// Non-positive alpha is degenerate: the minimum, not a panic.
+	if v := FlowSizeBytes(1000, 1e6, 0, rng); v != 1000 {
+		t.Errorf("alpha=0 drew %d, want min", v)
+	}
+	if v := FlowSizeBytes(1000, 1e6, -1, rng); v != 1000 {
+		t.Errorf("alpha<0 drew %d, want min", v)
+	}
+}
+
+func TestPoissonArrivalsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Zero duration is a valid empty window.
+	times, err := PoissonArrivals(5, 0, rng)
+	if err != nil {
+		t.Fatalf("zero duration: %v", err)
+	}
+	if len(times) != 0 {
+		t.Errorf("zero duration produced %d arrivals", len(times))
+	}
+	if _, err := PoissonArrivals(-2, 10, rng); err == nil {
+		t.Error("negative rate should fail")
+	}
+	// A tiny rate over a short window usually yields no arrivals — and
+	// must never error.
+	for i := 0; i < 20; i++ {
+		if _, err := PoissonArrivals(1e-9, 1, rng); err != nil {
+			t.Fatalf("tiny rate errored: %v", err)
+		}
+	}
+}
+
 func geoDist(a, b geo.LatLon) float64 { return geo.SurfaceDistanceKm(a, b) }

@@ -132,6 +132,52 @@ func (s *Snapshot) Edge(from, to string) (Edge, bool) {
 	return Edge{}, false
 }
 
+// NewSnapshot assembles a snapshot directly from nodes and directed edges,
+// bypassing the orbital feasibility rules of Build. It is the synthetic-graph
+// entry point: capacity-planning tests and benchmarks use it to construct
+// graphs with exactly known capacities. Each edge is taken as given (one
+// direction only; callers wanting symmetry add both directions), endpoints
+// must name declared nodes, and duplicate directed edges are rejected so a
+// (from, to) pair identifies at most one link.
+func NewSnapshot(t float64, nodes []Node, edges []Edge) (*Snapshot, error) {
+	s := &Snapshot{
+		TimeS: t,
+		nodes: make(map[string]*Node, len(nodes)),
+		adj:   make(map[string][]Edge),
+	}
+	for i := range nodes {
+		n := nodes[i]
+		if n.ID == "" {
+			return nil, fmt.Errorf("topo: node %d has empty ID", i)
+		}
+		if _, dup := s.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("topo: duplicate node %q", n.ID)
+		}
+		s.nodes[n.ID] = &n
+	}
+	seen := make(map[[2]string]bool, len(edges))
+	for _, e := range edges {
+		if s.nodes[e.From] == nil || s.nodes[e.To] == nil {
+			return nil, fmt.Errorf("topo: edge %s→%s references unknown node", e.From, e.To)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("topo: self-loop on %q", e.From)
+		}
+		key := [2]string{e.From, e.To}
+		if seen[key] {
+			return nil, fmt.Errorf("topo: duplicate edge %s→%s", e.From, e.To)
+		}
+		seen[key] = true
+		s.adj[e.From] = append(s.adj[e.From], e)
+		s.edges++
+	}
+	for id := range s.adj {
+		es := s.adj[id]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return s, nil
+}
+
 // SatSpec describes one satellite feeding a snapshot build.
 type SatSpec struct {
 	ID       string

@@ -1,0 +1,115 @@
+package traffic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/sim"
+)
+
+// demandFixture returns two satellites and gateways sited exactly under
+// them (guaranteed visible at t=0), plus a third gateway at the antipode of
+// the first (guaranteed dark with these two satellites).
+func demandFixture() ([]orbit.Satellite, []Gateway) {
+	sats := []orbit.Satellite{
+		{ID: "sat-0", Elements: orbit.Circular(780, 60, 0, 0)},
+		{ID: "sat-1", Elements: orbit.Circular(780, 60, 120, 180)},
+	}
+	posA := sats[0].Elements.SubSatellitePoint(0)
+	posB := sats[1].Elements.SubSatellitePoint(0)
+	dark := geo.LatLon{Lat: -posA.Lat, Lon: posA.Lon + 180}.Normalize()
+	return sats, []Gateway{
+		{ID: "gw-a", Pos: posA},
+		{ID: "gw-b", Pos: posB},
+		{ID: "gw-dark", Pos: dark},
+	}
+}
+
+func TestBuildDemandMatrix(t *testing.T) {
+	sats, gws := demandFixture()
+	users := sim.HotspotUsers(gws[0].Pos, 50, 40, rand.New(rand.NewSource(1)))
+	cfg := DefaultDemandConfig()
+	m, err := BuildDemandMatrix(gws, sats, users, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"gw-a", "gw-b"}; !reflect.DeepEqual(m.LitGateways, want) {
+		t.Fatalf("lit gateways = %v, want %v", m.LitGateways, want)
+	}
+	if m.UnservedUsers != 0 {
+		t.Errorf("unserved users = %d, want 0 (gw-a is lit and nearby)", m.UnservedUsers)
+	}
+	// All users sit on gw-a, so every demand sources there; destinations
+	// follow the population-weighted city draw.
+	for _, d := range m.Demands {
+		if d.Src != "gw-a" {
+			t.Errorf("demand %v sources at %s, want gw-a", d, d.Src)
+		}
+		if d.Dst != "gw-b" {
+			t.Errorf("demand %v exits at %s, want gw-b", d, d.Dst)
+		}
+		if d.OfferedBps <= 0 {
+			t.Errorf("demand %v has no load", d)
+		}
+	}
+	// Conservation: every user is either local or contributes PerUserBps.
+	want := float64(len(users)-m.LocalUsers) * cfg.PerUserBps
+	if got := m.OfferedBps(); got != want {
+		t.Errorf("offered %v, want %v (%d local users)", got, want, m.LocalUsers)
+	}
+	if len(m.Demands) == 0 && m.LocalUsers != len(users) {
+		t.Error("no demands despite non-local users")
+	}
+}
+
+func TestBuildDemandMatrixDeterministic(t *testing.T) {
+	sats, gws := demandFixture()
+	users := sim.CityUsers(60, 30, rand.New(rand.NewSource(3)))
+	run := func() *DemandMatrix {
+		m, err := BuildDemandMatrix(gws, sats, users, DefaultDemandConfig(), rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("demand matrix not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestBuildDemandMatrixNoVisibility(t *testing.T) {
+	sats, gws := demandFixture()
+	darkOnly := []Gateway{gws[2]}
+	users := sim.HotspotUsers(gws[0].Pos, 50, 10, rand.New(rand.NewSource(5)))
+	m, err := BuildDemandMatrix(darkOnly, sats, users, DefaultDemandConfig(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Demands) != 0 || len(m.LitGateways) != 0 {
+		t.Fatalf("dark constellation produced demands: %+v", m)
+	}
+	if m.UnservedUsers != len(users) {
+		t.Errorf("unserved = %d, want all %d users", m.UnservedUsers, len(users))
+	}
+}
+
+func TestBuildDemandMatrixErrors(t *testing.T) {
+	sats, gws := demandFixture()
+	rng := rand.New(rand.NewSource(7))
+	if _, err := BuildDemandMatrix(nil, sats, nil, DefaultDemandConfig(), rng); err == nil {
+		t.Error("no gateways should fail")
+	}
+	bad := DefaultDemandConfig()
+	bad.PerUserBps = 0
+	if _, err := BuildDemandMatrix(gws, sats, nil, bad, rng); err == nil {
+		t.Error("zero per-user load should fail")
+	}
+	bad = DefaultDemandConfig()
+	bad.WindowS = 0
+	if _, err := BuildDemandMatrix(gws, sats, nil, bad, rng); err == nil {
+		t.Error("zero visibility window should fail")
+	}
+}

@@ -1,0 +1,201 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CutLink is one saturated link of a minimum cut.
+type CutLink struct {
+	LinkID
+	CapacityBps float64
+}
+
+// MaxFlowResult is the outcome of one max-flow computation.
+type MaxFlowResult struct {
+	// ValueBps is the maximum src→dst flow.
+	ValueBps float64
+	// Flow carries the per-link flow of one maximum flow (only links with
+	// positive flow appear).
+	Flow map[LinkID]float64
+	// MinCut is the bottleneck: a minimal set of saturated links whose
+	// removal disconnects dst from src, sorted by (From, To). Its total
+	// capacity equals ValueBps (max-flow/min-cut duality).
+	MinCut []CutLink
+}
+
+// CutCapacityBps sums the cut links' capacities.
+func (r *MaxFlowResult) CutCapacityBps() float64 {
+	var total float64
+	for _, c := range r.MinCut {
+		total += c.CapacityBps
+	}
+	return total
+}
+
+// arc is one residual-graph arc. Forward arcs carry orig = initial
+// capacity; residual counterparts have orig = 0.
+type arc struct {
+	to, rev   int32
+	cap, orig float64
+}
+
+// dinicGraph is the indexed residual graph. Node indices follow the sorted
+// snapshot node order, and arcs are inserted in sorted adjacency order, so
+// the augmenting sequence — and with it every reported flow and cut — is
+// deterministic.
+type dinicGraph struct {
+	nodes []string
+	index map[string]int
+	adj   [][]arc
+	eps   float64
+}
+
+func newDinicGraph(n *Network) *dinicGraph {
+	ids := n.Snap.Nodes()
+	g := &dinicGraph{
+		nodes: ids,
+		index: make(map[string]int, len(ids)),
+		adj:   make([][]arc, len(ids)),
+		eps:   n.eps(),
+	}
+	for i, id := range ids {
+		g.index[id] = i
+	}
+	for _, id := range ids {
+		u := g.index[id]
+		for _, e := range n.Snap.Neighbors(id) {
+			c := n.CapacityBps(e.From, e.To)
+			if c <= 0 {
+				continue
+			}
+			v := g.index[e.To]
+			g.adj[u] = append(g.adj[u], arc{to: int32(v), rev: int32(len(g.adj[v])), cap: c, orig: c})
+			g.adj[v] = append(g.adj[v], arc{to: int32(u), rev: int32(len(g.adj[u]) - 1), cap: 0, orig: 0})
+		}
+	}
+	return g
+}
+
+// levels builds the BFS level graph from src over arcs with residual
+// capacity; it returns nil once dst is unreachable.
+func (g *dinicGraph) levels(src, dst int) []int32 {
+	level := make([]int32, len(g.nodes))
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			if a.cap > g.eps && level[a.to] < 0 {
+				level[a.to] = level[u] + 1
+				queue = append(queue, int(a.to))
+			}
+		}
+	}
+	if level[dst] < 0 {
+		return nil
+	}
+	return level
+}
+
+// augment pushes a blocking-flow DFS step of at most limit through the
+// level graph.
+func (g *dinicGraph) augment(u, dst int, limit float64, level []int32, iter []int) float64 {
+	if u == dst {
+		return limit
+	}
+	for ; iter[u] < len(g.adj[u]); iter[u]++ {
+		a := &g.adj[u][iter[u]]
+		if a.cap <= g.eps || level[a.to] != level[u]+1 {
+			continue
+		}
+		pushed := g.augment(int(a.to), dst, math.Min(limit, a.cap), level, iter)
+		if pushed > 0 {
+			a.cap -= pushed
+			g.adj[a.to][a.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// MaxFlow computes the maximum src→dst flow of the network with Dinic's
+// algorithm, returning the flow value, a per-link flow assignment and the
+// minimum cut. Capacities are bps but the solver is unit-agnostic.
+func MaxFlow(n *Network, src, dst string) (*MaxFlowResult, error) {
+	if n.Snap.Node(src) == nil {
+		return nil, fmt.Errorf("traffic: unknown source %q", src)
+	}
+	if n.Snap.Node(dst) == nil {
+		return nil, fmt.Errorf("traffic: unknown destination %q", dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("traffic: source and destination are both %q", src)
+	}
+	g := newDinicGraph(n)
+	s, t := g.index[src], g.index[dst]
+	var value float64
+	for {
+		level := g.levels(s, t)
+		if level == nil {
+			break
+		}
+		iter := make([]int, len(g.nodes))
+		for {
+			pushed := g.augment(s, t, math.Inf(1), level, iter)
+			if pushed <= 0 {
+				break
+			}
+			value += pushed
+		}
+	}
+
+	res := &MaxFlowResult{ValueBps: value, Flow: make(map[LinkID]float64)}
+	for u := range g.adj {
+		for _, a := range g.adj[u] {
+			if flow := a.orig - a.cap; a.orig > 0 && flow > g.eps {
+				res.Flow[LinkID{g.nodes[u], g.nodes[a.to]}] = flow
+			}
+		}
+	}
+	// Minimum cut: the saturated forward arcs crossing from the residual
+	// graph's src-reachable side to the rest.
+	reach := make([]bool, len(g.nodes))
+	reach[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range g.adj[u] {
+			if a.cap > g.eps && !reach[a.to] {
+				reach[a.to] = true
+				queue = append(queue, int(a.to))
+			}
+		}
+	}
+	for u := range g.adj {
+		if !reach[u] {
+			continue
+		}
+		for _, a := range g.adj[u] {
+			if a.orig > 0 && !reach[a.to] {
+				res.MinCut = append(res.MinCut, CutLink{
+					LinkID:      LinkID{g.nodes[u], g.nodes[a.to]},
+					CapacityBps: a.orig,
+				})
+			}
+		}
+	}
+	sort.Slice(res.MinCut, func(a, b int) bool {
+		if res.MinCut[a].From != res.MinCut[b].From {
+			return res.MinCut[a].From < res.MinCut[b].From
+		}
+		return res.MinCut[a].To < res.MinCut[b].To
+	})
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// grid builds a synthetic snapshot from (from, to, capacity) triples; delays
+// default to 1 ms per hop so latency costs are well-defined.
+func grid(t *testing.T, links ...[3]interface{}) *topo.Snapshot {
+	t.Helper()
+	seen := map[string]bool{}
+	var nodes []topo.Node
+	var edges []topo.Edge
+	for _, l := range links {
+		from, to := l[0].(string), l[1].(string)
+		var capBps float64
+		switch c := l[2].(type) {
+		case int:
+			capBps = float64(c)
+		case float64:
+			capBps = c
+		}
+		for _, id := range []string{from, to} {
+			if !seen[id] {
+				seen[id] = true
+				nodes = append(nodes, topo.Node{ID: id, Kind: topo.KindGroundStation})
+			}
+		}
+		edges = append(edges, topo.Edge{From: from, To: to, Kind: topo.LinkISLRF, DelayS: 0.001, CapacityBps: capBps})
+	}
+	s, err := topo.NewSnapshot(0, nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	// s→a 10, s→b 5, a→t 5, b→t 10: max flow 10 (5 along each side).
+	n := NewNetwork(grid(t,
+		[3]interface{}{"s", "a", 10}, [3]interface{}{"s", "b", 5},
+		[3]interface{}{"a", "t", 5}, [3]interface{}{"b", "t", 10},
+	))
+	r, err := MaxFlow(n, "s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ValueBps-10) > 1e-9 {
+		t.Fatalf("diamond max flow = %v, want 10", r.ValueBps)
+	}
+	if math.Abs(r.CutCapacityBps()-r.ValueBps) > 1e-9 {
+		t.Fatalf("cut capacity %v != flow value %v", r.CutCapacityBps(), r.ValueBps)
+	}
+}
+
+func TestMaxFlowCrossEdge(t *testing.T) {
+	// Adding a→b lets the surplus of the top path drain through the fat
+	// bottom sink: max flow rises from 10 to 15.
+	n := NewNetwork(grid(t,
+		[3]interface{}{"s", "a", 10}, [3]interface{}{"s", "b", 5},
+		[3]interface{}{"a", "t", 5}, [3]interface{}{"b", "t", 10},
+		[3]interface{}{"a", "b", 10},
+	))
+	r, err := MaxFlow(n, "s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ValueBps-15) > 1e-9 {
+		t.Fatalf("max flow = %v, want 15", r.ValueBps)
+	}
+}
+
+func TestMaxFlowClassicCLRS(t *testing.T) {
+	// The CLRS flow network (26.1): known max flow 23.
+	n := NewNetwork(grid(t,
+		[3]interface{}{"s", "v1", 16}, [3]interface{}{"s", "v2", 13},
+		[3]interface{}{"v1", "v3", 12}, [3]interface{}{"v2", "v1", 4},
+		[3]interface{}{"v2", "v4", 14}, [3]interface{}{"v3", "v2", 9},
+		[3]interface{}{"v3", "t", 20}, [3]interface{}{"v4", "v3", 7},
+		[3]interface{}{"v4", "t", 4},
+	))
+	r, err := MaxFlow(n, "s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ValueBps-23) > 1e-9 {
+		t.Fatalf("CLRS max flow = %v, want 23", r.ValueBps)
+	}
+	if len(r.MinCut) == 0 {
+		t.Fatal("no min cut reported")
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	n := NewNetwork(grid(t,
+		[3]interface{}{"s", "a", 10}, [3]interface{}{"b", "t", 10},
+	))
+	r, err := MaxFlow(n, "s", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ValueBps != 0 {
+		t.Fatalf("disconnected flow = %v, want 0", r.ValueBps)
+	}
+	if len(r.MinCut) != 0 {
+		t.Fatalf("disconnected graph has cut %v, want empty", r.MinCut)
+	}
+}
+
+func TestMaxFlowErrors(t *testing.T) {
+	n := NewNetwork(grid(t, [3]interface{}{"s", "t", 1}))
+	if _, err := MaxFlow(n, "nope", "t"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if _, err := MaxFlow(n, "s", "nope"); err == nil {
+		t.Error("unknown destination should fail")
+	}
+	if _, err := MaxFlow(n, "s", "s"); err == nil {
+		t.Error("src == dst should fail")
+	}
+}
+
+// randomNetwork builds a connected-ish random capacitated graph for the
+// property tests.
+func randomNetwork(rng *rand.Rand) *Network {
+	nNodes := 4 + rng.Intn(8)
+	nodes := make([]topo.Node, nNodes)
+	ids := make([]string, nNodes)
+	for i := range nodes {
+		ids[i] = string(rune('a' + i))
+		nodes[i] = topo.Node{ID: ids[i], Kind: topo.KindGroundStation}
+	}
+	seen := map[[2]string]bool{}
+	var edges []topo.Edge
+	nEdges := nNodes + rng.Intn(3*nNodes)
+	for len(edges) < nEdges {
+		i, j := rng.Intn(nNodes), rng.Intn(nNodes)
+		if i == j || seen[[2]string{ids[i], ids[j]}] {
+			// Dense small graphs may run out of fresh pairs; bail out.
+			if len(seen) >= nNodes*(nNodes-1) {
+				break
+			}
+			continue
+		}
+		seen[[2]string{ids[i], ids[j]}] = true
+		edges = append(edges, topo.Edge{
+			From: ids[i], To: ids[j], Kind: topo.LinkISLRF,
+			DelayS: 0.001 * (1 + rng.Float64()), CapacityBps: float64(1 + rng.Intn(100)),
+		})
+	}
+	s, err := topo.NewSnapshot(0, nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return NewNetwork(s)
+}
+
+// TestMaxFlowInvariantsProperty drives Dinic with testing/quick over random
+// graphs and checks the three defining invariants: capacity respected on
+// every link, flow conserved at every interior node, and the flow value
+// equal to the min cut's capacity (strong duality — a full correctness
+// certificate).
+func TestMaxFlowInvariantsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng)
+		r, err := MaxFlow(n, "a", "b")
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		const eps = 1e-6
+		net := map[string]float64{}
+		for id, flow := range r.Flow {
+			if flow < -eps || flow > n.CapacityBps(id.From, id.To)+eps {
+				t.Logf("seed %d: link %v flow %v exceeds capacity %v", seed, id, flow, n.CapacityBps(id.From, id.To))
+				return false
+			}
+			net[id.From] -= flow
+			net[id.To] += flow
+		}
+		for _, id := range n.Snap.Nodes() {
+			if id == "a" || id == "b" {
+				continue
+			}
+			if math.Abs(net[id]) > eps {
+				t.Logf("seed %d: conservation violated at %s: %v", seed, id, net[id])
+				return false
+			}
+		}
+		if math.Abs(net["b"]-r.ValueBps) > eps {
+			t.Logf("seed %d: sink inflow %v != value %v", seed, net["b"], r.ValueBps)
+			return false
+		}
+		if math.Abs(r.CutCapacityBps()-r.ValueBps) > eps {
+			t.Logf("seed %d: cut %v != value %v", seed, r.CutCapacityBps(), r.ValueBps)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxFlowDeterministic(t *testing.T) {
+	rngA := rand.New(rand.NewSource(7))
+	na := randomNetwork(rngA)
+	ra, err := MaxFlow(na, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngB := rand.New(rand.NewSource(7))
+	nb := randomNetwork(rngB)
+	rb, err := MaxFlow(nb, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.ValueBps != rb.ValueBps || len(ra.MinCut) != len(rb.MinCut) {
+		t.Fatalf("max flow not deterministic: %v/%v vs %v/%v", ra.ValueBps, ra.MinCut, rb.ValueBps, rb.MinCut)
+	}
+	for i := range ra.MinCut {
+		if ra.MinCut[i] != rb.MinCut[i] {
+			t.Fatalf("cut differs at %d: %v vs %v", i, ra.MinCut[i], rb.MinCut[i])
+		}
+	}
+}

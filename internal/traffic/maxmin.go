@@ -1,0 +1,291 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/openspace-project/openspace/internal/routing"
+)
+
+// AllocConfig parameterises the max-min fair allocator.
+type AllocConfig struct {
+	// KPaths is how many loopless shortest paths (routing.KShortestPaths)
+	// are considered per demand; the widest of them — largest bottleneck
+	// capacity under this network's capacity map — carries the demand.
+	// ≤ 0 means 1 (pure shortest path).
+	KPaths int
+	// Cost scores candidate paths. Nil means GatewayTransitCost: latency
+	// with user access links excluded.
+	Cost routing.CostFunc
+}
+
+// DemandAllocation is one demand's outcome.
+type DemandAllocation struct {
+	Demand
+	// Path is the node sequence carrying the demand; nil when the network
+	// offers no route.
+	Path []string
+	// RateBps is the allocated rate, ≤ OfferedBps.
+	RateBps float64
+	// Bottleneck names the saturated link that froze this demand's rate.
+	// It is the zero LinkID when the demand is fully satisfied or has no
+	// path.
+	Bottleneck LinkID
+}
+
+// Satisfied reports whether the demand got its full offered rate.
+func (d *DemandAllocation) Satisfied() bool {
+	return d.Path != nil && d.RateBps >= d.OfferedBps
+}
+
+// Allocation is a complete max-min fair assignment. It implements
+// routing.LoadMap, so a finished allocation can feed load-aware QoS routing
+// directly.
+type Allocation struct {
+	Demands  []DemandAllocation
+	net      *Network
+	linkLoad map[LinkID]float64
+}
+
+var _ routing.LoadMap = (*Allocation)(nil)
+
+// Utilization implements routing.LoadMap: the carried fraction of the
+// directed link's capacity, in [0, 1].
+func (a *Allocation) Utilization(from, to string) float64 {
+	c := a.net.CapacityBps(from, to)
+	if c <= 0 {
+		return 0
+	}
+	u := a.linkLoad[LinkID{from, to}] / c
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// OfferedBps sums the offered load over all demands.
+func (a *Allocation) OfferedBps() float64 {
+	var total float64
+	for i := range a.Demands {
+		total += a.Demands[i].OfferedBps
+	}
+	return total
+}
+
+// CarriedBps sums the allocated rates: the traffic the constellation
+// actually carries.
+func (a *Allocation) CarriedBps() float64 {
+	var total float64
+	for i := range a.Demands {
+		total += a.Demands[i].RateBps
+	}
+	return total
+}
+
+// SatisfiedFraction is carried/offered load, 1 with no demands.
+func (a *Allocation) SatisfiedFraction() float64 {
+	off := a.OfferedBps()
+	if off <= 0 {
+		return 1
+	}
+	return a.CarriedBps() / off
+}
+
+// JainIndex is Jain's fairness index over the per-demand satisfaction
+// ratios rate/offered: 1 when every demand gets the same share of its ask,
+// approaching 1/n when one demand starves the rest. 1 with no demands.
+func (a *Allocation) JainIndex() float64 {
+	var sum, sumSq float64
+	n := 0
+	for i := range a.Demands {
+		d := &a.Demands[i]
+		if d.OfferedBps <= 0 {
+			continue
+		}
+		x := d.RateBps / d.OfferedBps
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// MaxUtilization returns the most loaded link and its utilisation — the
+// system bottleneck. The zero LinkID is returned when nothing is loaded.
+func (a *Allocation) MaxUtilization() (LinkID, float64) {
+	var best LinkID
+	var bestU float64
+	for _, id := range a.net.Links() {
+		if u := a.Utilization(id.From, id.To); u > bestU {
+			best, bestU = id, u
+		}
+	}
+	return best, bestU
+}
+
+// MaxMinFair computes a max-min fair rate allocation for the demands by
+// progressive filling: every unfrozen demand's rate rises at the same pace;
+// a demand freezes when it reaches its offered load or when a link on its
+// path saturates. The result has the max-min property — no demand's rate
+// can be raised without lowering the rate of a demand that has no more —
+// restricted to the single path each demand is assigned (the widest of its
+// k shortest).
+//
+// The computation is deterministic: demands are processed in input order,
+// links in sorted order, and path selection breaks ties toward the lower
+// Yen rank.
+func MaxMinFair(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, error) {
+	k := cfg.KPaths
+	if k <= 0 {
+		k = 1
+	}
+	cost := cfg.Cost
+	if cost == nil {
+		cost = GatewayTransitCost()
+	}
+	alloc := &Allocation{
+		Demands:  make([]DemandAllocation, len(demands)),
+		net:      n,
+		linkLoad: make(map[LinkID]float64),
+	}
+	// Per-demand link sets, and per-link active-demand membership.
+	demandLinks := make([][]LinkID, len(demands))
+	for i, d := range demands {
+		alloc.Demands[i] = DemandAllocation{Demand: d}
+		if d.OfferedBps < 0 {
+			return nil, fmt.Errorf("traffic: demand %s→%s has negative offered load", d.Src, d.Dst)
+		}
+		if n.Snap.Node(d.Src) == nil || n.Snap.Node(d.Dst) == nil {
+			return nil, fmt.Errorf("traffic: demand %s→%s references unknown node", d.Src, d.Dst)
+		}
+		paths, err := routing.KShortestPaths(n.Snap, d.Src, d.Dst, cost, k)
+		if err != nil || len(paths) == 0 {
+			continue // unroutable demand: rate stays 0
+		}
+		best, bestCap := -1, -1.0
+		for pi, p := range paths {
+			if c := pathBottleneckBps(n, p.Nodes); c > bestCap {
+				best, bestCap = pi, c
+			}
+		}
+		if bestCap <= 0 {
+			continue // routable only over zero-capacity links
+		}
+		nodes := paths[best].Nodes
+		alloc.Demands[i].Path = nodes
+		for h := 0; h+1 < len(nodes); h++ {
+			demandLinks[i] = append(demandLinks[i], LinkID{nodes[h], nodes[h+1]})
+		}
+	}
+
+	eps := n.eps()
+	active := make([]bool, len(demands))
+	nActive := 0
+	for i := range alloc.Demands {
+		if alloc.Demands[i].Path != nil && alloc.Demands[i].OfferedBps > 0 {
+			active[i] = true
+			nActive++
+		}
+	}
+	users := func(l LinkID) int {
+		c := 0
+		for i := range demands {
+			if !active[i] {
+				continue
+			}
+			for _, dl := range demandLinks[i] {
+				if dl == l {
+					c++
+					break
+				}
+			}
+		}
+		return c
+	}
+	for nActive > 0 {
+		// The uniform rate increment until the first event: a link
+		// saturating or a demand reaching its offered load.
+		delta := math.Inf(1)
+		for i := range demands {
+			if active[i] {
+				if room := alloc.Demands[i].OfferedBps - alloc.Demands[i].RateBps; room < delta {
+					delta = room
+				}
+				for _, l := range demandLinks[i] {
+					if nu := users(l); nu > 0 {
+						if room := (n.caps[l] - alloc.linkLoad[l]) / float64(nu); room < delta {
+							delta = room
+						}
+					}
+				}
+			}
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for i := range demands {
+			if active[i] {
+				alloc.Demands[i].RateBps += delta
+				for _, l := range demandLinks[i] {
+					alloc.linkLoad[l] += delta
+				}
+			}
+		}
+		// Freeze demands at their offered load or behind a saturated link.
+		froze := false
+		for i := range demands {
+			if !active[i] {
+				continue
+			}
+			d := &alloc.Demands[i]
+			if d.RateBps >= d.OfferedBps-eps {
+				d.RateBps = d.OfferedBps
+				active[i] = false
+				nActive--
+				froze = true
+				continue
+			}
+			for _, l := range demandLinks[i] {
+				if alloc.linkLoad[l] >= n.caps[l]-eps {
+					d.Bottleneck = l
+					active[i] = false
+					nActive--
+					froze = true
+					break
+				}
+			}
+		}
+		if !froze {
+			// Float-tolerance stall: nothing crossed a threshold despite a
+			// minimal delta. Freeze everything at current rates to
+			// guarantee termination; the allocation stays feasible.
+			for i := range demands {
+				if active[i] {
+					active[i] = false
+					nActive--
+				}
+			}
+		}
+	}
+	return alloc, nil
+}
+
+// pathBottleneckBps returns the smallest capacity along the node sequence
+// under the network's capacity map (which may differ from the snapshot's
+// edge capacities after Recapacitate).
+func pathBottleneckBps(n *Network, nodes []string) float64 {
+	bottleneck := math.Inf(1)
+	for i := 0; i+1 < len(nodes); i++ {
+		c := n.CapacityBps(nodes[i], nodes[i+1])
+		if c < bottleneck {
+			bottleneck = c
+		}
+	}
+	if math.IsInf(bottleneck, 1) {
+		return 0
+	}
+	return bottleneck
+}
