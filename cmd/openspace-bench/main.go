@@ -194,7 +194,7 @@ func run(which, csvDir string, quick bool, workers int) error {
 				return err
 			}
 			if err := res.CSV(f); err != nil {
-				f.Close()
+				f.Close() //lint:allow errdrop the CSV write error above is the primary failure
 				return fmt.Errorf("%s: csv: %w", e.name, err)
 			}
 			if err := f.Close(); err != nil {

@@ -81,13 +81,16 @@ func run(sats, planes, phasing int, alt, incl float64, delta bool, random int, s
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		rows := make([][]string, len(points))
 		for i, p := range points {
 			rows[i] = []string{c.Satellites[i].ID,
 				fmt.Sprintf("%.4f", p.Lat), fmt.Sprintf("%.4f", p.Lon)}
 		}
 		if err := experiments.WriteCSV(f, []string{"sat", "lat_deg", "lon_deg"}, rows); err != nil {
+			f.Close() //lint:allow errdrop the CSV write error above is the primary failure
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", csvPath)
@@ -97,13 +100,18 @@ func run(sats, planes, phasing int, alt, incl float64, delta bool, random int, s
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		// Export in the catalogue format the paper's public-orbit argument
 		// relies on: any other provider can ingest these lines.
 		for i, s := range c.Satellites {
 			t := orbit.FromElements(s.ID, 90000+i, s.Elements)
 			l1, l2 := t.FormatTLE()
-			fmt.Fprintf(f, "%s\n%s\n%s\n", s.ID, l1, l2)
+			if _, err := fmt.Fprintf(f, "%s\n%s\n%s\n", s.ID, l1, l2); err != nil {
+				f.Close() //lint:allow errdrop the TLE write error above is the primary failure
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s (%d TLE sets)\n", tlePath, c.Len())
 	}

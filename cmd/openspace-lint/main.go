@@ -1,0 +1,29 @@
+// Command openspace-lint runs the repository's determinism-contract
+// analyzer suite (see internal/lint) over the given package patterns and
+// exits non-zero on findings:
+//
+//	go run ./cmd/openspace-lint ./...
+//
+// Findings print as file:line:col: analyzer: message. Intentional
+// exceptions are annotated at the site with //lint:allow <analyzer>
+// <reason>. Exit codes: 0 clean, 1 findings, 2 load/type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/openspace-project/openspace/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: openspace-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	os.Exit(lint.Main(".", flag.Args(), os.Stdout, os.Stderr))
+}

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	openspace "github.com/openspace-project/openspace"
 )
@@ -24,14 +25,17 @@ func main() {
 		"chen":  {Lat: 31.23, Lon: 121.47}, // Shanghai, prov-2
 	}
 	isps := []string{"prov-0", "prov-1", "prov-2"}
-	i := 0
-	var names []string
-	for name, pos := range users {
-		if _, err := net.AddUser(name, isps[i%3], pos); err != nil {
+	// Enroll in sorted name order: map iteration order would otherwise
+	// reshuffle the user→ISP assignment on every run.
+	names := make([]string, 0, len(users))
+	for name := range users {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if _, err := net.AddUser(name, isps[i%3], users[name]); err != nil {
 			log.Fatal(err)
 		}
-		names = append(names, name)
-		i++
 	}
 	if err := net.BuildTopology(0, 600, 60); err != nil {
 		log.Fatal(err)
@@ -76,8 +80,14 @@ func main() {
 		fmt.Printf("  %s bills %s $%6.2f for %5.2f GB carried\n",
 			v.Flow.Carrier, v.Flow.Customer, v.AmountUSD, float64(v.Bytes)/1e9)
 	}
-	for p, bal := range openspace.NetBalances(inv) {
-		fmt.Printf("  net position %s: %+.2f USD\n", p, bal)
+	balances := openspace.NetBalances(inv)
+	parties := make([]string, 0, len(balances))
+	for p := range balances {
+		parties = append(parties, p)
+	}
+	sort.Strings(parties)
+	for _, p := range parties {
+		fmt.Printf("  net position %s: %+.2f USD\n", p, balances[p])
 	}
 
 	// Peering: symmetric mutual carriage should be settled for free.

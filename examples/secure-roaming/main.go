@@ -64,11 +64,14 @@ func main() {
 	}
 
 	// acme's ledger cross-verification catches skynet inflating its
-	// carriage claims; orbitco independently sees dropped traffic.
-	for reporter, evidence := range map[string]string{
+	// carriage claims; orbitco independently sees dropped traffic. Reports
+	// are filed in a fixed order so the printed accuser tally is stable.
+	evidenceByReporter := map[string]string{
 		"acme":    "CrossVerify: skynet claims 2.5 GB carried, our ledger says 2.0 GB",
 		"orbitco": "4 of 40 frames handed to skynet never reached the gateway",
-	} {
+	}
+	for _, reporter := range []string{"acme", "orbitco"} {
+		evidence := evidenceByReporter[reporter]
 		kind := openspace.ReportLedgerFraud
 		if reporter == "orbitco" {
 			kind = openspace.ReportTrafficDrop

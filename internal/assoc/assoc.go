@@ -152,10 +152,10 @@ func (t *Terminal) Candidates(now float64) []Candidate {
 		})
 	}
 	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].RangeKm != cs[j].RangeKm {
+		if cs[i].RangeKm != cs[j].RangeKm { //lint:allow floateq exact sort tie-break keeps candidate order deterministic
 			return cs[i].RangeKm < cs[j].RangeKm
 		}
-		if cs[i].Load != cs[j].Load {
+		if cs[i].Load != cs[j].Load { //lint:allow floateq exact sort tie-break keeps candidate order deterministic
 			return cs[i].Load < cs[j].Load
 		}
 		return cs[i].SatelliteID < cs[j].SatelliteID

@@ -140,7 +140,7 @@ func (n *Network) RankGateways(userID string, bytes int64, t float64) ([]Gateway
 		return nil, errors.New("core: no reachable gateway")
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].CompletionS != out[j].CompletionS {
+		if out[i].CompletionS != out[j].CompletionS { //lint:allow floateq exact sort tie-break keeps gateway ranking deterministic
 			return out[i].CompletionS < out[j].CompletionS
 		}
 		return out[i].StationID < out[j].StationID

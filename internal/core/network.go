@@ -9,11 +9,22 @@ import (
 	"github.com/openspace-project/openspace/internal/assoc"
 	"github.com/openspace-project/openspace/internal/auth"
 	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/frame"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/ground"
 	"github.com/openspace-project/openspace/internal/routing"
 	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// RNG domain tags, mixed into seeds via exec.Seed so that network
+// provisioning (keys, nonces) and scenario workloads (arrivals, sizes)
+// draw from unrelated streams even when configured with the same seed —
+// seeding both straight from the config value would silently correlate
+// them.
+const (
+	rngDomainNetwork  = 1
+	rngDomainScenario = 2
 )
 
 // Provider is one federation member at run time.
@@ -60,7 +71,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 		cfg:       cfg,
 		providers: make(map[string]*Provider),
 		users:     make(map[string]*User),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		rng:       rand.New(rand.NewSource(exec.Seed(cfg.Seed, rngDomainNetwork))),
 	}
 	for _, pc := range cfg.Providers {
 		a, err := auth.NewAuthenticator(pc.ID, cfg.CertTTLS, n.rng)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/sim"
 )
 
@@ -96,7 +97,7 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(sc.Seed))
+	rng := rand.New(rand.NewSource(exec.Seed(sc.Seed, rngDomainScenario)))
 	engine := sim.NewEngine()
 	res := &ScenarioResult{}
 

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSplitMix64KnownAnswer pins the derivation scheme to fixed vectors.
+// These values are load-bearing: every committed CSV under results/ was
+// produced by exactly this (base, coords) → seed map, and the nondeterm
+// static analyzer blesses exec.Seed as the one legitimate seed path on
+// that assumption. If this test fails, the RNG scheme changed and every
+// experiment output changes with it — that is a results/ regeneration and
+// a PR note, never a test edit.
+func TestSplitMix64KnownAnswer(t *testing.T) {
+	// splitmix64(0) must be 0xE220A8397B1DCDAF, the first output of the
+	// reference SplitMix64 stream for seed 0 (Steele et al.; also the
+	// test vector Vigna publishes). Seed(0) exposes it through the API.
+	if got := uint64(Seed(0)); got != 0xE220A8397B1DCDAF {
+		t.Fatalf("Seed(0) = %#x, want reference SplitMix64 output 0xE220A8397B1DCDAF", got)
+	}
+	vectors := []struct {
+		base   int64
+		coords []int64
+		want   int64
+	}{
+		{0, nil, -2152535657050944081},
+		{-1, nil, -1956407806741107680},
+		{11, nil, 5833679380957638813},
+		{11, []int64{0, 0}, 3907102330262185340},
+		{11, []int64{4, 0}, 345847835890396658},
+		{11, []int64{4, 59}, -2228777809491291927},
+		{11, []int64{-1, 7}, 1520593869301179888},
+		{42, []int64{1}, -2693632816820116974},
+		{42, []int64{1, 2}, -8937879498666538011},
+	}
+	for _, v := range vectors {
+		if got := Seed(v.base, v.coords...); got != v.want {
+			t.Errorf("Seed(%d, %v) = %d, want %d", v.base, v.coords, got, v.want)
+		}
+	}
+}
+
+// TestRNGWorkerCountInvariance is the contract the whole harness rests
+// on: a task's stream depends only on its logical coordinates, never on
+// how many workers ran the sweep or in what order they reached the task.
+// Simulate the same 32-task sweep serially and with racing goroutines,
+// and require identical draws per task either way.
+func TestRNGWorkerCountInvariance(t *testing.T) {
+	const base, tasks, draws = 17, 32, 16
+
+	drawTask := func(task int) []float64 {
+		rng := RNG(base, int64(task))
+		out := make([]float64, draws)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out
+	}
+
+	serial := make([][]float64, tasks)
+	for task := 0; task < tasks; task++ {
+		serial[task] = drawTask(task)
+	}
+
+	for _, workers := range []int{2, 7, tasks} {
+		parallel := make([][]float64, tasks)
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for task := range next {
+					parallel[task] = drawTask(task)
+				}
+			}()
+		}
+		for task := 0; task < tasks; task++ {
+			next <- task
+		}
+		close(next)
+		wg.Wait()
+
+		for task := 0; task < tasks; task++ {
+			for i := range serial[task] {
+				if serial[task][i] != parallel[task][i] { //lint:allow floateq identical streams must match bit-for-bit
+					t.Fatalf("workers=%d task=%d draw=%d: parallel stream diverged from serial", workers, task, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRNGSubSeedIndependentOfSiblingConsumption guards against the
+// classic shared-source bug: consuming one task's RNG must not perturb a
+// sibling's. (With a process-global source, draws interleave by
+// scheduling; with per-task derivation they cannot.)
+func TestRNGSubSeedIndependentOfSiblingConsumption(t *testing.T) {
+	fresh := func() *rand.Rand { return RNG(3, 9) }
+
+	want := fresh().Int63()
+
+	// Burn a sibling stream heavily, then re-derive task (3,9).
+	sibling := RNG(3, 10)
+	for i := 0; i < 1000; i++ {
+		sibling.Int63()
+	}
+	if got := fresh().Int63(); got != want {
+		t.Fatalf("task (3,9) first draw changed after sibling consumption: %d != %d", got, want)
+	}
+}

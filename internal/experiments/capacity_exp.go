@@ -104,7 +104,7 @@ type capacityTrialOut struct {
 func capacityGateways(count int) []traffic.Gateway {
 	cities := sim.WorldCities()
 	sort.Slice(cities, func(a, b int) bool {
-		if cities[a].PopM != cities[b].PopM {
+		if cities[a].PopM != cities[b].PopM { //lint:allow floateq exact sort tie-break keeps gateway siting deterministic
 			return cities[a].PopM > cities[b].PopM
 		}
 		return cities[a].Name < cities[b].Name

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"github.com/openspace-project/openspace/internal/core"
 	"github.com/openspace-project/openspace/internal/economics"
@@ -160,8 +161,13 @@ func (r *EconResult) Render(w io.Writer) error {
 		fmt.Fprintf(w, "  %-8s bills %-8s $%8.2f for %6.2f GB\n",
 			inv.Flow.Carrier, inv.Flow.Customer, inv.AmountUSD, float64(inv.Bytes)/1e9)
 	}
-	for p, b := range r.Balances {
-		fmt.Fprintf(w, "  net %-8s %+9.2f USD\n", p, b)
+	parties := make([]string, 0, len(r.Balances))
+	for p := range r.Balances {
+		parties = append(parties, p)
+	}
+	sort.Strings(parties)
+	for _, p := range parties {
+		fmt.Fprintf(w, "  net %-8s %+9.2f USD\n", p, r.Balances[p])
 	}
 	if len(r.Peering) == 0 {
 		fmt.Fprintln(w, "  no peering candidates at current symmetry threshold")

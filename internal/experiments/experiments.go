@@ -53,10 +53,10 @@ func RenderSeries(w io.Writer, title, xLabel, yLabel string, series []*sim.Serie
 		_, err := fmt.Fprintf(w, "%s: (no data)\n", title)
 		return err
 	}
-	if maxX == minX {
+	if maxX == minX { //lint:allow floateq degenerate-range guard wants exact collapse, not closeness
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY == minY { //lint:allow floateq degenerate-range guard wants exact collapse, not closeness
 		maxY = minY + 1
 	}
 	grid := make([][]byte, height)

@@ -44,7 +44,7 @@ func ScheduleAntennas(passes []Pass, antennas int) (*AntennaSchedule, error) {
 	}
 	sorted := append([]Pass(nil), passes...)
 	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].RiseS != sorted[j].RiseS {
+		if sorted[i].RiseS != sorted[j].RiseS { //lint:allow floateq exact sort tie-break keeps pass order deterministic
 			return sorted[i].RiseS < sorted[j].RiseS
 		}
 		return sorted[i].SatelliteID < sorted[j].SatelliteID
@@ -81,7 +81,7 @@ func MinAntennasFor(passes []Pass) int {
 		evs = append(evs, ev{p.RiseS, 1}, ev{p.SetS, -1})
 	}
 	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].t != evs[j].t {
+		if evs[i].t != evs[j].t { //lint:allow floateq exact sort tie-break keeps event order deterministic
 			return evs[i].t < evs[j].t
 		}
 		return evs[i].delta < evs[j].delta // sets before rises at the same t

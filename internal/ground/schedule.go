@@ -50,7 +50,7 @@ func PassSchedule(stationPos geo.LatLon, sats []orbit.Satellite, startS, endS, m
 		}
 	}
 	sort.Slice(passes, func(i, j int) bool {
-		if passes[i].RiseS != passes[j].RiseS {
+		if passes[i].RiseS != passes[j].RiseS { //lint:allow floateq exact sort tie-break keeps pass order deterministic
 			return passes[i].RiseS < passes[j].RiseS
 		}
 		return passes[i].SatelliteID < passes[j].SatelliteID

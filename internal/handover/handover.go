@@ -73,6 +73,7 @@ func (p *Predictor) Best(t float64) (Sat, bool) {
 		}
 		d := p.sats[i].Elements.PositionECEF(t).DistanceKm(userPos)
 		if bestIdx == -1 || d < bestRange ||
+			//lint:allow floateq exact range tie broken by ID keeps selection deterministic
 			(d == bestRange && p.sats[i].ID < p.sats[bestIdx].ID) {
 			bestIdx, bestRange = i, d
 		}
@@ -134,7 +135,7 @@ func (p *Predictor) PickSuccessor(servingID string, setTimeS, horizonS float64) 
 		return Sat{}, false
 	}
 	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].until != cands[b].until {
+		if cands[a].until != cands[b].until { //lint:allow floateq exact sort tie-break keeps candidate order deterministic
 			return cands[a].until > cands[b].until
 		}
 		return cands[a].sat.ID < cands[b].sat.ID

@@ -1,0 +1,103 @@
+package lint
+
+import "testing"
+
+// sink is a writer/closer/flusher fixture type shared by the errdrop cases.
+const sinkSrc = `
+type Sink struct{}
+func (Sink) Write(p []byte) (int, error) { return len(p), nil }
+func (Sink) Flush() error                { return nil }
+func (Sink) Close() error                { return nil }
+type Reader struct{}
+func (Reader) Close() error { return nil }
+`
+
+func TestErrdrop(t *testing.T) {
+	ed := analyzerByName(t, "errdrop")
+	pkg := Module + "/internal/fixture"
+
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{"write_discarded_flagged", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink, p []byte) {
+	s.Write(p) // want "errdrop: error from Write is discarded"
+}
+`}}},
+		{"flush_discarded_flagged", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink) {
+	s.Flush() // want "errdrop: error from Flush is discarded"
+}
+`}}},
+		{"close_discarded_flagged", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink) {
+	s.Close() // want "errdrop: error from Close is discarded"
+}
+`}}},
+		{"deferred_close_flagged", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink) {
+	defer s.Close() // want "errdrop: deferred Close discards its error"
+}
+`}}},
+		{"interface_writer_flagged", []fixturePkg{{pkg, `package fixture
+import "io"
+func Emit(w io.WriteCloser, p []byte) {
+	w.Write(p) // want "errdrop: error from Write is discarded"
+	defer w.Close() // want "errdrop: deferred Close discards its error"
+}
+`}}},
+		{"checked_clean", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink, p []byte) error {
+	if _, err := s.Write(p); err != nil {
+		return err
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+`}}},
+		{"blank_assign_clean", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink, p []byte) {
+	_, _ = s.Write(p) // explicit, reviewable discard
+	_ = s.Close()
+}
+`}}},
+		{"reader_close_clean", []fixturePkg{{pkg, `package fixture
+import "io"
+` + sinkSrc + `
+func Drain(r Reader, rc io.ReadCloser) {
+	defer r.Close()
+	defer rc.Close()
+}
+`}}},
+		{"infallible_writers_clean", []fixturePkg{{pkg, `package fixture
+import (
+	"bytes"
+	"strings"
+)
+func Emit(p []byte) {
+	var b bytes.Buffer
+	b.Write(p)
+	var sb strings.Builder
+	sb.Write(p)
+}
+`}}},
+		{"allow_directive", []fixturePkg{{pkg, `package fixture
+` + sinkSrc + `
+func Emit(s Sink, p []byte) {
+	s.Write(p) //lint:allow errdrop this sink is documented to never fail
+}
+`}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runFixture(t, ed, tc.pkgs...) })
+	}
+}

@@ -1,0 +1,69 @@
+package lint
+
+import "testing"
+
+func TestFloateq(t *testing.T) {
+	fe := analyzerByName(t, "floateq")
+	pkg := Module + "/internal/fixture"
+
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{"computed_eq_flagged", []fixturePkg{{pkg, `package fixture
+func Same(a, b float64) bool {
+	return a == b // want "floateq: exact floating-point == comparison"
+}
+`}}},
+		{"computed_neq_flagged", []fixturePkg{{pkg, `package fixture
+func Differ(a, b float64) bool {
+	return a != b // want "floateq: exact floating-point != comparison"
+}
+`}}},
+		{"float32_flagged", []fixturePkg{{pkg, `package fixture
+func Same(a, b float32) bool {
+	return a == b // want "floateq: exact floating-point == comparison"
+}
+`}}},
+		{"arithmetic_operands_flagged", []fixturePkg{{pkg, `package fixture
+func Same(a, b float64) bool {
+	return a*2 == b+1 // want "floateq: exact floating-point == comparison"
+}
+`}}},
+		{"named_float_type_flagged", []fixturePkg{{pkg, `package fixture
+type Seconds float64
+func Same(a, b Seconds) bool {
+	return a == b // want "floateq: exact floating-point == comparison"
+}
+`}}},
+		{"constant_sentinel_clean", []fixturePkg{{pkg, `package fixture
+const eps = 1e-9
+func Checks(a float64) bool {
+	return a == 0 || a != 1.5 || a == eps
+}
+`}}},
+		{"int_compare_clean", []fixturePkg{{pkg, `package fixture
+func Same(a, b int) bool { return a == b }
+`}}},
+		{"tolerance_clean", []fixturePkg{{pkg, `package fixture
+import "math"
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+`}}},
+		{"allow_directive", []fixturePkg{{pkg, `package fixture
+import "sort"
+func Order(xs []float64, ids []string) {
+	sort.Slice(ids, func(i, j int) bool {
+		if xs[i] != xs[j] { //lint:allow floateq exact tie-break keeps the sort deterministic
+			return xs[i] < xs[j]
+		}
+		return ids[i] < ids[j]
+	})
+}
+`}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runFixture(t, fe, tc.pkgs...) })
+	}
+}

@@ -1,0 +1,184 @@
+// Package lint is a stdlib-only static-analysis driver that mechanically
+// enforces the repository's determinism contract: the same seed must
+// produce byte-identical experiment output at any worker count. Four
+// analyzers cover the bug classes that historically break that contract —
+// wall-clock reads and process-global randomness (nondeterm), emission in
+// map iteration order (maporder), silently dropped writer errors
+// (errdrop), and exact floating-point comparison (floateq).
+//
+// Intentional exceptions are annotated in source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive suppresses that analyzer's findings on its own line and on
+// the line immediately below, so it works both as a trailing comment and
+// as a standalone comment above the offending statement. The reason is
+// mandatory: an unexplained exception is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		nondetermAnalyzer(),
+		maporderAnalyzer(),
+		errdropAnalyzer(),
+		floateqAnalyzer(),
+	}
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at the node's position.
+func (p *Pass) Report(n ast.Node, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for the package's type info.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Pkg.Info.ObjectOf(id) }
+
+const directivePrefix = "//lint:allow "
+
+// allowKey identifies one suppressed (file line, analyzer) pair.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directives scans a package's comments for //lint:allow annotations.
+// Malformed directives (unknown analyzer, missing reason) are reported as
+// findings so the escape hatch cannot silently rot.
+func directives(fset *token.FileSet, pkg *Package, known map[string]bool, diags *[]Diagnostic) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(directivePrefix)) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, strings.TrimSpace(directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || !known[fields[0]] {
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("malformed directive %q: want //lint:allow <analyzer> <reason>", c.Text)})
+					continue
+				}
+				if len(fields) < 2 {
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("directive %q needs a reason: an unexplained exception is not an exception", c.Text)})
+					continue
+				}
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					allowed[allowKey{pos.Filename, l, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// RunAnalyzers runs the suite over every root package and returns findings
+// sorted by position, with //lint:allow suppressions applied.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		var raw []Diagnostic
+		allowed := directives(fset, pkg, known, &raw)
+		for _, a := range analyzers {
+			a.Run(&Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &raw})
+		}
+		for _, d := range raw {
+			if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Main is the CLI entry point: load the patterns, run the suite, print
+// file:line:col diagnostics, and return the exit code (0 clean, 1
+// findings, 2 load failure).
+func Main(dir string, patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := LoadInto(fset, dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	diags := RunAnalyzers(fset, pkgs, Analyzers())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "openspace-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

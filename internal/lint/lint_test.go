@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDirectiveValidation(t *testing.T) {
+	pkg := Module + "/internal/fixture"
+
+	t.Run("unknown_analyzer_reported", func(t *testing.T) {
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+//lint:allow nosuchcheck because reasons // want "directive: malformed directive"
+func F() {}
+`})
+	})
+	t.Run("missing_reason_reported", func(t *testing.T) {
+		// A reasonless directive is itself reported AND suppresses nothing,
+		// so the draw below it still surfaces.
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Draw() int {
+	//lint:allow nondeterm
+	// want(-1) "needs a reason"
+	return rand.Intn(10) // want "nondeterm: global math/rand.Intn"
+}
+`})
+	})
+	t.Run("directive_does_not_leak_past_next_line", func(t *testing.T) {
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Draw() int {
+	//lint:allow nondeterm only the next line is excused
+	a := rand.Intn(10)
+	b := rand.Intn(10) // want "nondeterm: global math/rand.Intn"
+	return a + b
+}
+`})
+	})
+	t.Run("directive_scoped_to_one_analyzer", func(t *testing.T) {
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Mix(a, b float64) bool {
+	//lint:allow nondeterm excused draw, but not the comparison below
+	return float64(rand.Intn(10)) == a*b // want "floateq: exact floating-point == comparison"
+}
+`})
+	})
+}
+
+// TestMainOnFixturePackages drives the real loader + CLI path over the
+// compiled fixture packages in testdata: each bad package must produce
+// file:line diagnostics and exit 1, and the audited modalKind shape must
+// load clean through the same path.
+func TestMainOnFixturePackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain via go list")
+	}
+	cases := []struct {
+		pattern  string
+		wantExit int
+		wantSubs []string
+	}{
+		{"./testdata/src/nondeterm_bad", 1, []string{
+			"nondeterm_bad.go", "time.Now", "global math/rand.Intn", "seed expression calls",
+		}},
+		{"./testdata/src/maporder_bad", 1, []string{
+			"maporder_bad.go", "output emitted inside", "never sorted in this function",
+		}},
+		{"./testdata/src/errdrop_bad", 1, []string{
+			"errdrop_bad.go", "error from Write is discarded", "deferred Close discards",
+		}},
+		{"./testdata/src/floateq_bad", 1, []string{
+			"floateq_bad.go", "exact floating-point == comparison",
+		}},
+		// Regression fixture for the audited map range in
+		// internal/experiments/capacity_exp.go (modalKind): sorted after
+		// collection, so the suite must pass it.
+		{"./testdata/src/maporder_modalkind", 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(strings.TrimPrefix(tc.pattern, "./testdata/src/"), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			exit := Main(".", []string{tc.pattern}, &out, &errb)
+			if exit != tc.wantExit {
+				t.Fatalf("Main(%q) exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.pattern, exit, tc.wantExit, out.String(), errb.String())
+			}
+			for _, sub := range tc.wantSubs {
+				if !strings.Contains(out.String(), sub) {
+					t.Errorf("output missing %q:\n%s", sub, out.String())
+				}
+			}
+			// Every diagnostic line must carry a clickable file:line:col.
+			for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+				if line == "" {
+					continue
+				}
+				if parts := strings.SplitN(line, ":", 4); len(parts) < 4 {
+					t.Errorf("diagnostic without file:line:col: %q", line)
+				}
+			}
+		})
+	}
+}
+
+// TestDiagnosticsSorted pins the deterministic output order the CI gate
+// relies on: findings sort by file, then line, then column.
+func TestDiagnosticsSorted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain via go list")
+	}
+	var out, errb bytes.Buffer
+	if exit := Main(".", []string{"./testdata/src/nondeterm_bad", "./testdata/src/floateq_bad"}, &out, &errb); exit != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", exit, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	parse := func(s string) (file string, line int) {
+		parts := strings.SplitN(s, ":", 3)
+		if len(parts) < 3 {
+			t.Fatalf("unparseable diagnostic %q", s)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			t.Fatalf("unparseable line in %q: %v", s, err)
+		}
+		return parts[0], n
+	}
+	for i := 1; i < len(lines); i++ {
+		pf, pl := parse(lines[i-1])
+		cf, cl := parse(lines[i])
+		if pf > cf || (pf == cf && pl > cl) {
+			t.Errorf("diagnostics out of order:\n%s\n%s", lines[i-1], lines[i])
+		}
+	}
+}

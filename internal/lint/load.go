@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, comment-preserving package the analyzers
+// run over.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Root marks packages named by the caller's patterns (analyzed), as
+	// opposed to module-internal dependencies loaded only for type info.
+	Root bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList shells out to the go command — the one tool the stdlib-only rule
+// assumes, since it is the toolchain itself — and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// modulePath reports the main module's path, so the loader can tell
+// module-internal imports (type-checked from source here) from standard
+// library ones (delegated to the source importer).
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// loaderImporter resolves module-internal imports from the loader's own
+// cache of already-checked packages and everything else (the standard
+// library) through the compiler-from-source importer.
+type loaderImporter struct {
+	module string
+	cache  map[string]*types.Package
+	std    types.Importer
+}
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := li.cache[path]; ok {
+		return pkg, nil
+	}
+	if li.module != "" && (path == li.module || strings.HasPrefix(path, li.module+"/")) {
+		return nil, fmt.Errorf("lint: module package %q not loaded before its importer", path)
+	}
+	return li.std.Import(path)
+}
+
+// LoadInto resolves the patterns with `go list`, pulls in module-internal
+// dependencies, and type-checks everything in dependency order into the
+// caller's FileSet. Test files are not loaded: the determinism contract is
+// about production code, and every analyzer exempts tests.
+func LoadInto(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	mod, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Transitively list module-internal dependencies of the roots.
+	metas := map[string]*listedPackage{}
+	isRoot := map[string]bool{}
+	var queue []string
+	for _, p := range roots {
+		metas[p.ImportPath] = p
+		isRoot[p.ImportPath] = true
+		queue = append(queue, p.Imports...)
+	}
+	for len(queue) > 0 {
+		imp := queue[0]
+		queue = queue[1:]
+		if _, ok := metas[imp]; ok || !(imp == mod || strings.HasPrefix(imp, mod+"/")) {
+			continue
+		}
+		deps, err := goList(dir, imp)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			metas[d.ImportPath] = d
+			queue = append(queue, d.Imports...)
+		}
+	}
+
+	order, err := topoSort(mod, metas)
+	if err != nil {
+		return nil, err
+	}
+
+	li := &loaderImporter{
+		module: mod,
+		cache:  map[string]*types.Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, path := range order {
+		meta := metas[path]
+		pkg, err := checkPackage(fset, li, meta)
+		if err != nil {
+			return nil, err
+		}
+		li.cache[path] = pkg.Types
+		pkg.Root = isRoot[path]
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// topoSort orders packages so every module-internal import precedes its
+// importer, ties broken by import path for deterministic runs.
+func topoSort(mod string, metas map[string]*listedPackage) ([]string, error) {
+	paths := make([]string, 0, len(metas))
+	for p := range metas {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %q", p)
+		}
+		state[p] = visiting
+		meta := metas[p]
+		deps := append([]string(nil), meta.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := metas[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checkPackage parses and type-checks one package's non-test files.
+func checkPackage(fset *token.FileSet, imp types.Importer, meta *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(meta.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", meta.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: meta.ImportPath,
+		Dir:     meta.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

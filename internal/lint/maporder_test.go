@@ -1,0 +1,133 @@
+package lint
+
+import "testing"
+
+func TestMaporder(t *testing.T) {
+	mo := analyzerByName(t, "maporder")
+	pkg := Module + "/internal/fixture"
+
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{"print_in_map_range_flagged", []fixturePkg{{pkg, `package fixture
+import "fmt"
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "maporder: output emitted inside"
+	}
+}
+`}}},
+		{"fprint_in_map_range_flagged", []fixturePkg{{pkg, `package fixture
+import (
+	"fmt"
+	"io"
+)
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want "maporder: output emitted inside"
+	}
+}
+`}}},
+		{"writer_method_in_map_range_flagged", []fixturePkg{{pkg, `package fixture
+import "strings"
+func Dump(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "maporder: output emitted inside"
+	}
+	return b.String()
+}
+`}}},
+		{"csv_write_in_map_range_flagged", []fixturePkg{{pkg, `package fixture
+import (
+	"encoding/csv"
+	"strconv"
+)
+func Dump(w *csv.Writer, m map[string]int) {
+	for k, v := range m {
+		w.Write([]string{k, strconv.Itoa(v)}) // want "maporder: output emitted inside"
+	}
+}
+`}}},
+		{"unsorted_keys_returned_flagged", []fixturePkg{{pkg, `package fixture
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "maporder: map keys collected into"
+	}
+	return ks
+}
+`}}},
+		// The exact shape of modalKind in internal/experiments/capacity_exp.go:
+		// keys collected under range, sorted before any ordered use. Must stay
+		// clean — this is the audited site's regression fixture.
+		{"modalkind_sorted_after_clean", []fixturePkg{{pkg, `package fixture
+import "sort"
+func ModalKind(kinds map[string]int) string {
+	best, bestN := "", 0
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if kinds[k] > bestN {
+			best, bestN = k, kinds[k]
+		}
+	}
+	return best
+}
+`}}},
+		{"slices_sort_after_clean", []fixturePkg{{pkg, `package fixture
+import "slices"
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+`}}},
+		{"sort_slice_after_clean", []fixturePkg{{pkg, `package fixture
+import "sort"
+func Keys(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+`}}},
+		{"aggregation_clean", []fixturePkg{{pkg, `package fixture
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`}}},
+		{"slice_range_clean", []fixturePkg{{pkg, `package fixture
+import "fmt"
+func Dump(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`}}},
+		{"allow_directive", []fixturePkg{{pkg, `package fixture
+import "fmt"
+func Dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:allow maporder debug dump, order is irrelevant here
+	}
+}
+`}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runFixture(t, mo, tc.pkgs...) })
+	}
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Module is the import-path prefix of this repository; nondeterm scopes
+// itself to the module's internal tree, where the determinism contract
+// holds (examples and demo binaries may be as casual as they like).
+const Module = "github.com/openspace-project/openspace"
+
+// seedFunc is the one blessed seed-derivation path: every parallel task
+// derives its stream from (base seed, task coordinates) through SplitMix64
+// so results never depend on worker scheduling.
+const seedFunc = Module + "/internal/exec.Seed"
+
+// nondetermAnalyzer forbids the three ways nondeterminism has historically
+// entered simulation codebases: reading the wall clock, drawing from the
+// process-global math/rand state (ordered by goroutine scheduling), and
+// seeding a fresh source from anything that is not a constant, a plumbed
+// seed variable, or an exec.Seed derivation.
+func nondetermAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "nondeterm",
+		Doc:  "forbid time.Now, global math/rand, and non-derived RNG seeds in internal packages",
+	}
+	a.Run = func(p *Pass) {
+		if !strings.HasPrefix(p.Pkg.PkgPath, Module+"/internal/") {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calledFunc(p, call)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case fn.FullName() == "time.Now":
+					p.Report(call, "time.Now makes output depend on the wall clock; take the timestamp as a parameter or config field")
+				case isGlobalRandFunc(fn):
+					p.Report(call, "global math/rand.%s draws from process-shared state whose order depends on goroutine scheduling; thread a task-owned *rand.Rand derived via exec.RNG(seed, coords...)", fn.Name())
+				case isRandSourceCtor(fn) && len(call.Args) > 0:
+					checkSeedExpr(p, call.Args[0])
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// calledFunc resolves a call's callee to a *types.Func, or nil for
+// conversions, builtins, and calls through function-typed variables.
+func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(fun.Sel)
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isGlobalRandFunc reports whether fn is a package-level math/rand (or
+// math/rand/v2) function drawing from the shared global source.
+// Constructors are fine: they create the task-owned generators the
+// contract requires.
+func isGlobalRandFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false // methods on *rand.Rand are task-owned by construction
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+// isRandSourceCtor reports whether fn constructs a math/rand source whose
+// seed argument must be scrutinized.
+func isRandSourceCtor(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil && (fn.Name() == "NewSource" || fn.Name() == "NewPCG")
+}
+
+// checkSeedExpr walks a seed expression and reports any call that could
+// smuggle nondeterminism into the source: constants, plumbed variables,
+// arithmetic on them, conversions, exec.Seed derivations, and draws from
+// an existing *rand.Rand are all fine; any other function call is not a
+// reproducible seed.
+func checkSeedExpr(p *Pass, seed ast.Expr) {
+	ast.Inspect(seed, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion like int64(x): keep scrutinizing x
+		}
+		fn := calledFunc(p, call)
+		if fn != nil {
+			if fn.FullName() == seedFunc {
+				return false // the blessed derivation
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isRandRand(recv.Type()) {
+				return false // child seed drawn from a task-owned generator
+			}
+		}
+		name := "a function"
+		if fn != nil {
+			name = fn.FullName()
+		}
+		p.Report(call, "seed expression calls %s; seeds must be constants, plumbed variables, or exec.Seed(base, coords...) derivations so reruns reproduce", name)
+		return false
+	})
+}
+
+// isRandRand reports whether t is math/rand.Rand (possibly via pointer).
+func isRandRand(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && (obj.Pkg().Path() == "math/rand" || obj.Pkg().Path() == "math/rand/v2") && obj.Name() == "Rand"
+}

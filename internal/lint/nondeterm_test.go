@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+func TestNondeterm(t *testing.T) {
+	nd := analyzerByName(t, "nondeterm")
+	internalPkg := Module + "/internal/fixture"
+
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{"time_now_flagged", []fixturePkg{{internalPkg, `package fixture
+import "time"
+func Stamp() time.Time {
+	return time.Now() // want "nondeterm: time.Now makes output depend on the wall clock"
+}
+`}}},
+		{"global_rand_flagged", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+func Draw() int {
+	return rand.Intn(10) // want "nondeterm: global math/rand.Intn"
+}
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "nondeterm: global math/rand.Shuffle"
+}
+`}}},
+		{"task_owned_rng_clean", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+func Draw(rng *rand.Rand) int { return rng.Intn(10) }
+`}}},
+		{"plumbed_seed_clean", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+type Config struct{ Seed int64 }
+func New(cfg Config) *rand.Rand { return rand.New(rand.NewSource(cfg.Seed)) }
+func NewConst() *rand.Rand      { return rand.New(rand.NewSource(42)) }
+func NewArith(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(uint64(seed) ^ 0x9e3779b9)))
+}
+`}}},
+		{"derived_seed_clean", []fixturePkg{execStub, {internalPkg, `package fixture
+import (
+	"math/rand"
+	"github.com/openspace-project/openspace/internal/exec"
+)
+func New(base int64, task int) *rand.Rand {
+	return rand.New(rand.NewSource(exec.Seed(base, int64(task))))
+}
+func Child(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63()))
+}
+`}}},
+		{"wallclock_seed_flagged", []fixturePkg{{internalPkg, `package fixture
+import (
+	"math/rand"
+	"time"
+)
+func New() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "nondeterm: seed expression calls" "nondeterm: time.Now"
+}
+`}}},
+		{"arbitrary_call_seed_flagged", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+func pick() int64 { return 3 }
+func New() *rand.Rand {
+	return rand.New(rand.NewSource(pick())) // want "nondeterm: seed expression calls"
+}
+`}}},
+		{"allow_directive_trailing", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+func Draw() int {
+	return rand.Intn(10) //lint:allow nondeterm demo code outside any experiment path
+}
+`}}},
+		{"allow_directive_standalone", []fixturePkg{{internalPkg, `package fixture
+import "math/rand"
+func Draw() int {
+	//lint:allow nondeterm demo code outside any experiment path
+	return rand.Intn(10)
+}
+`}}},
+		{"outside_internal_ignored", []fixturePkg{{Module + "/examples/demo", `package demo
+import "math/rand"
+func Draw() int { return rand.Intn(10) }
+`}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runFixture(t, nd, tc.pkgs...) })
+	}
+}

@@ -1,0 +1,21 @@
+// Package errdrop_bad is a negative fixture: writer errors silently
+// dropped, so a failed emission exits 0 and the experiment looks clean.
+package errdrop_bad
+
+import "io"
+
+// Emit drops the Write error.
+func Emit(w io.Writer, row []byte) {
+	w.Write(row)
+}
+
+// EmitAll defers Close on a writable handle, losing its error.
+func EmitAll(wc io.WriteCloser, rows [][]byte) {
+	defer wc.Close()
+	for _, r := range rows {
+		w := io.Writer(wc)
+		if _, err := w.Write(r); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package floateq_bad is a negative fixture: exact equality between
+// computed floating-point values.
+package floateq_bad
+
+// Converged compares two computed floats exactly.
+func Converged(prev, next float64) bool {
+	return prev == next
+}
+
+// Distinct uses != between computed floats.
+func Distinct(a, b float64) bool {
+	return a*2 != b/3
+}

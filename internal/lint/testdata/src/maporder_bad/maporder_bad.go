@@ -1,0 +1,26 @@
+// Package maporder_bad is a negative fixture: rows emitted in map
+// iteration order, and map keys collected but never sorted — the exact
+// bug class the serial-vs-parallel CSV diff job exists to catch.
+package maporder_bad
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpRows writes one CSV row per map entry, in whatever order the
+// runtime hands them out.
+func DumpRows(w io.Writer, counts map[string]int) {
+	for kind, n := range counts {
+		fmt.Fprintf(w, "%s,%d\n", kind, n)
+	}
+}
+
+// Keys returns map keys without sorting them.
+func Keys(counts map[string]int) []string {
+	var ks []string
+	for k := range counts {
+		ks = append(ks, k)
+	}
+	return ks
+}

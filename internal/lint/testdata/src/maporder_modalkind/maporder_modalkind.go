@@ -1,0 +1,25 @@
+// Package maporder_modalkind is the regression fixture for the audited
+// map range in internal/experiments/capacity_exp.go (modalKind): keys are
+// collected under `range` and sorted before any ordered use, which is the
+// blessed idiom. The maporder analyzer must keep passing this shape — a
+// false positive here would force an allow directive onto correct code.
+package maporder_modalkind
+
+import "sort"
+
+// ModalKind mirrors capacity_exp.go's modal bottleneck-kind reduction:
+// most common key wins, ties broken lexicographically.
+func ModalKind(kinds map[string]int) string {
+	best, bestN := "", 0
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if kinds[k] > bestN {
+			best, bestN = k, kinds[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,24 @@
+// Package nondeterm_bad is a negative fixture: every forbidden shape the
+// nondeterm analyzer exists to catch, in compiling code. It lives under
+// testdata so `./...` never builds or lints it; the linter's own tests
+// point the driver here and expect exit 1.
+package nondeterm_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Draw uses the process-global generator.
+func Draw() int { return rand.Intn(6) }
+
+// NewRNG seeds from the wall clock.
+func NewRNG() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }
+
+// NewFromCall seeds from an arbitrary function call.
+func NewFromCall() *rand.Rand { return rand.New(rand.NewSource(pick())) }
+
+func pick() int64 { return 3 }

@@ -62,7 +62,7 @@ func KShortestPaths(s *topo.Snapshot, src, dst string, cost CostFunc, k int) ([]
 			break
 		}
 		sort.Slice(candidates, func(a, b int) bool {
-			if candidates[a].Cost != candidates[b].Cost {
+			if candidates[a].Cost != candidates[b].Cost { //lint:allow floateq exact sort tie-break keeps k-path order deterministic
 				return candidates[a].Cost < candidates[b].Cost
 			}
 			return lessNodes(candidates[a].Nodes, candidates[b].Nodes)

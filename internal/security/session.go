@@ -56,8 +56,8 @@ type Session struct {
 // a 32-byte output).
 func DeriveKey(master []byte, label string) []byte {
 	mac := hmac.New(sha256.New, master)
-	mac.Write([]byte(label))
-	mac.Write([]byte{1})
+	mac.Write([]byte(label)) //lint:allow errdrop hash.Hash.Write is documented to never return an error
+	mac.Write([]byte{1})     //lint:allow errdrop hash.Hash.Write is documented to never return an error
 	return mac.Sum(nil)
 }
 

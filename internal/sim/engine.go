@@ -22,7 +22,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].atS != h[j].atS {
+	if h[i].atS != h[j].atS { //lint:allow floateq exact heap tie broken by seq keeps event order deterministic
 		return h[i].atS < h[j].atS
 	}
 	return h[i].seq < h[j].seq

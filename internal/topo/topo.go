@@ -308,7 +308,7 @@ func Build(t float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []
 		}
 	}
 	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].d != pairs[b].d {
+		if pairs[a].d != pairs[b].d { //lint:allow floateq exact sort tie-break keeps ISL pairing deterministic
 			return pairs[a].d < pairs[b].d
 		}
 		if pairs[a].i != pairs[b].i {

@@ -154,7 +154,7 @@ func nearestGateway(gws []Gateway, p geo.LatLon) string {
 	best, bestD := "", 0.0
 	for _, g := range gws {
 		d := geo.SurfaceDistanceKm(g.Pos, p)
-		if best == "" || d < bestD || (d == bestD && g.ID < best) {
+		if best == "" || d < bestD || (d == bestD && g.ID < best) { //lint:allow floateq exact distance tie broken by ID keeps gateway choice deterministic
 			best, bestD = g.ID, d
 		}
 	}
