@@ -206,6 +206,23 @@ func BenchmarkResilience(b *testing.B) {
 	}
 }
 
+// BenchmarkAvailability regenerates E15: per-flow availability, recovery
+// latency and fast-reroute share under swept fault intensity.
+func BenchmarkAvailability(b *testing.B) {
+	cfg := experiments.DefaultAvailability()
+	cfg.Intensities = []float64{0, 2}
+	cfg.Trials, cfg.HorizonS = 2, 1800
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Availability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows[0].Availability != 1 {
+			b.Fatalf("fault-free availability regressed: %v", r.Rows[0].Availability)
+		}
+	}
+}
+
 // BenchmarkDTN regenerates E11: store-and-forward vs instant connectivity
 // for sparse fleets.
 func BenchmarkDTN(b *testing.B) {

@@ -166,6 +166,15 @@ var experimentTable = []entry{
 		cfg.Workers = workers
 		return experiments.CriticalMass(cfg)
 	}},
+	{"availability", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultAvailability()
+		if quick {
+			cfg.Intensities = []float64{0, 1, 4}
+			cfg.Trials, cfg.HorizonS = 2, 3600
+		}
+		cfg.Workers = workers
+		return experiments.Availability(cfg)
+	}},
 }
 
 func run(which, csvDir string, quick bool, workers int) error {

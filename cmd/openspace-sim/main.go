@@ -17,8 +17,10 @@ import (
 
 	"github.com/openspace-project/openspace/internal/core"
 	"github.com/openspace-project/openspace/internal/economics"
+	"github.com/openspace-project/openspace/internal/faults"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
+	"github.com/openspace-project/openspace/internal/routing"
 	"github.com/openspace-project/openspace/internal/sim"
 	"github.com/openspace-project/openspace/internal/topo"
 	"github.com/openspace-project/openspace/internal/traffic"
@@ -34,8 +36,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel topology-snapshot workers (0 = one per CPU, 1 = serial); results are identical at any setting")
 	scenario := flag.Bool("scenario", false, "drive the workload through the discrete-event engine (Poisson arrivals, automatic handovers) instead of fixed transfer counts")
 	capacity := flag.Bool("capacity", false, "print a traffic-engineering report (demand matrix, max-min fair allocation, bottleneck) instead of running transfers")
+	faultsMode := flag.Bool("faults", false, "inject deterministic faults (satellite failures, ISL flaps, weather, storms) and report per-flow availability, reroutes and scenario robustness")
+	intensity := flag.Float64("intensity", 1, "fault-rate multiplier for -faults (0 disables injection)")
 	flag.Parse()
 
+	if *faultsMode {
+		if err := runFaults(*providers, *users, *duration, *intensity, *seed, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *capacity {
 		if err := runCapacity(*providers, *users, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
@@ -257,11 +268,16 @@ func runCapacity(providers, users int, seed int64, workers int) error {
 	return nil
 }
 
-// runScenario drives the engine-based workload (core.RunScenario).
-func runScenario(providers, users int, duration float64, seed int64, workers int) error {
+// buildScenarioNetwork assembles the Iridium federation with one gateway
+// per provider and the city-weighted user population — the common setup of
+// the -scenario and -faults modes.
+func buildScenarioNetwork(providers, users int, seed int64, workers int) (*core.Network, error) {
+	if providers <= 0 || users <= 0 {
+		return nil, fmt.Errorf("providers and users must be positive")
+	}
 	c, err := orbit.Iridium().Build()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fleets := core.SplitConstellation(c, providers, 0.3)
 	sites := []geo.LatLon{
@@ -282,13 +298,22 @@ func runScenario(providers, users int, duration float64, seed int64, workers int
 		Providers: pcs, Seed: seed, Topo: topo.Config{Workers: workers},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for i, pos := range sim.CityUsers(users, 30, rng) {
 		if _, err := net.AddUser(fmt.Sprintf("user-%d", i), fmt.Sprintf("prov-%d", i%providers), pos); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	return net, nil
+}
+
+// runScenario drives the engine-based workload (core.RunScenario).
+func runScenario(providers, users int, duration float64, seed int64, workers int) error {
+	net, err := buildScenarioNetwork(providers, users, seed, workers)
+	if err != nil {
+		return err
 	}
 	res, err := net.RunScenario(core.Scenario{
 		DurationS:         duration,
@@ -309,5 +334,89 @@ func runScenario(providers, users int, duration float64, seed int64, workers int
 	fmt.Printf("handovers: %d (%d cross-provider) | fees: carriage $%.2f gateway $%.2f\n",
 		res.Handovers, res.CrossProviderHandovers, res.CarriageUSD, res.GatewayUSD)
 	fmt.Printf("engine events processed: %d\n", res.EventsProcessed)
+	return nil
+}
+
+// runFaults injects a deterministic fault environment and reports both
+// views of robustness: per-flow availability with fast reroute on the
+// static t=0 topology, and the full engine scenario where terminals drop,
+// re-associate and transfers retry with backoff.
+func runFaults(providers, users int, duration, intensity float64, seed int64, workers int) error {
+	net, err := buildScenarioNetwork(providers, users, seed, workers)
+	if err != nil {
+		return err
+	}
+	fcfg := faults.Default()
+	fcfg.Seed = seed
+	fcfg = fcfg.Scale(intensity)
+
+	if err := net.BuildTopology(0, duration, 60); err != nil {
+		return err
+	}
+	snap := net.Topology().At(0)
+	in := faults.InputsFromSnapshot(snap)
+	tl, err := faults.Generate(fcfg, duration, in)
+	if err != nil {
+		return err
+	}
+	counts := map[faults.Kind]int{}
+	for _, ev := range tl.Events {
+		counts[ev.Kind]++
+	}
+	fmt.Printf("fault timeline over %.0f s at ×%.3g intensity: %d events "+
+		"(%d sat failures, %d ISL flaps, %d ground outages, %d storm hits)\n",
+		duration, intensity, len(tl.Events),
+		counts[faults.KindSatFailure], counts[faults.KindISLFlap],
+		counts[faults.KindGroundOutage], counts[faults.KindStorm])
+
+	// Protected flows: each user toward its provider's gateway, with
+	// precomputed disjoint backups and fast reroute.
+	var specs []faults.FlowSpec
+	for i := 0; i < users; i++ {
+		uid := fmt.Sprintf("user-%d", i)
+		gs := fmt.Sprintf("gs-%d", i%providers)
+		specs = append(specs, faults.FlowSpec{ID: uid + "→" + gs, Src: uid, Dst: gs})
+	}
+	rr, err := faults.RunFlows(snap, specs, tl, faults.DefaultRecovery(), routing.LatencyCost(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protected flows (t=0 snapshot, %d fault transitions):\n", rr.FaultTransitions)
+	for _, f := range rr.Flows {
+		if f.NoPath {
+			fmt.Printf("  %-20s no path on the intact topology\n", f.ID)
+			continue
+		}
+		tag := "primary"
+		if f.OnBackup {
+			tag = "on backup"
+		}
+		fmt.Printf("  %-20s avail %.6f | %d interruptions | %d fast reroutes | down %.2f s | %s\n",
+			f.ID, f.Avail.Availability(rr.HorizonS), f.Avail.Interruptions,
+			f.Avail.Reroutes, f.Avail.DowntimeS, tag)
+	}
+
+	// Full engine scenario under the same fault environment.
+	res, err := net.RunScenario(core.Scenario{
+		DurationS:         duration,
+		SnapshotIntervalS: 60,
+		PerUserRate:       0.02,
+		MinBytes:          1_000_000,
+		MaxBytes:          500_000_000,
+		Seed:              seed,
+		Faults:            fcfg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fault scenario over %.0f s: %d/%d transfers delivered (%.0f%%), %.2f GB\n",
+		duration, res.TransfersDelivered, res.TransfersAttempted,
+		res.DeliveryRate()*100, float64(res.BytesDelivered)/1e9)
+	fmt.Printf("faults: %d transitions | %d terminals dropped | %d retries | %d recovered | %d abandoned\n",
+		res.FaultEvents, res.DroppedTerminals, res.Retries,
+		res.RecoveredTransfers, res.AbandonedTransfers)
+	fmt.Printf("handovers: %d (%d cross-provider) | latency ms: mean %.1f p95 %.1f\n",
+		res.Handovers, res.CrossProviderHandovers,
+		res.LatencyS.Mean()*1000, res.LatencyS.Quantile(0.95)*1000)
 	return nil
 }

@@ -231,6 +231,17 @@ func (t *Terminal) SwitchTo(satelliteID, providerID string) error {
 	return nil
 }
 
+// Dropped records loss of the serving link — the serving satellite failed
+// or its access link went away. The terminal returns to idle and must run
+// association again; unlike MovedTo the position is unchanged, and the
+// roaming certificate (still valid until expiry) is refreshed by the next
+// association rather than discarded here.
+func (t *Terminal) Dropped() {
+	t.state = StateIdle
+	t.serving, t.provider = "", ""
+	t.heard = make(map[string]frame.Beacon)
+}
+
 // MovedTo relocates the terminal. Moving to a new physical region drops
 // association and certificate: the paper requires the full association and
 // authentication process to run again after relocation.

@@ -54,6 +54,7 @@ type Network struct {
 	rng       *rand.Rand
 
 	te      *topo.TimeExpanded
+	baseTE  *topo.TimeExpanded // intact geometry, kept while a fault overlay is installed
 	router  *routing.ProactiveRouter
 	flowSeq uint64
 }
@@ -206,7 +207,22 @@ func (n *Network) BuildTopology(startS, horizonS, intervalS float64) error {
 		return err
 	}
 	n.te = te
+	n.baseTE = te
 	n.router = routing.NewProactiveRouter(te, routing.LatencyCost(n.cfg.PerHopProcessingS))
+	return nil
+}
+
+// ApplyFaultMask installs a degraded view of the topology: association and
+// routing see the overlay while the intact geometry is retained, so masking
+// is cheap (shared nodes and adjacency, no rebuild) and clearing the mask
+// restores the original snapshots. An empty mask is the identity — the
+// overlay provably changes nothing when no fault is active.
+func (n *Network) ApplyFaultMask(m topo.Mask) error {
+	if n.baseTE == nil {
+		return errors.New("core: BuildTopology must run before ApplyFaultMask")
+	}
+	n.te = n.baseTE.Overlay(m)
+	n.router = routing.NewProactiveRouter(n.te, routing.LatencyCost(n.cfg.PerHopProcessingS))
 	return nil
 }
 
@@ -331,6 +347,7 @@ func (n *Network) MoveUser(userID string, pos geo.LatLon) error {
 	u.Pos = pos
 	// Invalidate precomputed topology: access edges are stale.
 	n.te = nil
+	n.baseTE = nil
 	n.router = nil
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 
 	"github.com/openspace-project/openspace/internal/exec"
+	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/routing"
 	"github.com/openspace-project/openspace/internal/sim"
 )
 
@@ -26,6 +28,15 @@ type Scenario struct {
 	MinBytes, MaxBytes int64
 	// Seed drives workload randomness (independent of the network's seed).
 	Seed int64
+	// Faults optionally injects deterministic failures (satellite outages,
+	// ISL flaps, ground weather, solar storms — see internal/faults). The
+	// zero value disables injection entirely: a fault-free run takes exactly
+	// the code path it did before this field existed.
+	Faults faults.Config
+	// Retry bounds the deterministic backoff for transfers that fail while
+	// faults are active; the zero value means routing.DefaultBackoff().
+	// Ignored when Faults is disabled.
+	Retry routing.Backoff
 }
 
 // Validate reports whether the scenario is runnable.
@@ -42,6 +53,11 @@ func (s Scenario) Validate() error {
 	if s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
 		return fmt.Errorf("core: transfer size bounds [%d,%d] invalid", s.MinBytes, s.MaxBytes)
 	}
+	if s.Faults.Enabled() {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -56,6 +72,13 @@ type ScenarioResult struct {
 	CarriageUSD            float64
 	GatewayUSD             float64
 	EventsProcessed        uint64
+
+	// Fault-injection counters, all zero when Scenario.Faults is disabled.
+	FaultEvents        int // fault state transitions observed (failures + repairs)
+	DroppedTerminals   int // terminals forced back to idle by a serving-satellite outage
+	Retries            int // transfer retry attempts scheduled
+	RecoveredTransfers int // transfers delivered after at least one retry
+	AbandonedTransfers int // transfers that exhausted the retry budget
 }
 
 // DeliveryRate returns the delivered fraction.
@@ -101,7 +124,84 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 	engine := sim.NewEngine()
 	res := &ScenarioResult{}
 
-	// Transfer arrivals per user.
+	// Fault injection: generate the deterministic timeline over the intact
+	// t=0 snapshot and drive it through the engine. Each transition swaps in
+	// a degraded overlay of the topology (association and routing then see
+	// only surviving elements) and drops terminals whose serving satellite
+	// died; they re-associate at the next handover tick. Fault transitions
+	// are scheduled before the workload, so at equal instants failures land
+	// before the transfers that must route around them.
+	faultsOn := sc.Faults.Enabled()
+	if faultsOn {
+		tl, err := faults.Generate(sc.Faults, sc.DurationS, faults.InputsFromSnapshot(n.te.At(0)))
+		if err != nil {
+			return nil, err
+		}
+		mask := faults.NewMask()
+		onChange := func(e *sim.Engine, _ faults.Event, down bool) {
+			res.FaultEvents++
+			if err := n.ApplyFaultMask(mask); err != nil {
+				panic(err) // unreachable: topology was built above
+			}
+			if !down {
+				return
+			}
+			for _, id := range userIDs {
+				if !associated[id] {
+					continue
+				}
+				u := n.users[id]
+				serving, _ := u.Terminal.Serving()
+				if mask.NodeDown(serving) {
+					u.Terminal.Dropped()
+					associated[id] = false
+					res.DroppedTerminals++
+				}
+			}
+		}
+		if err := tl.Drive(engine, mask, onChange); err != nil {
+			return nil, err
+		}
+	}
+	retry := sc.Retry
+	if retry == (routing.Backoff{}) {
+		retry = routing.DefaultBackoff()
+	}
+
+	// Transfer arrivals per user. With faults enabled, a failed send retries
+	// with bounded deterministic backoff — the jitter real stacks add is for
+	// breaking synchronisation, which the engine's deterministic tie-break
+	// already provides.
+	var attemptSend func(e *sim.Engine, id string, bytes int64, attempt int)
+	attemptSend = func(e *sim.Engine, id string, bytes int64, attempt int) {
+		if associated[id] {
+			if d, _, err := n.SendBest(id, bytes, e.Now()); err == nil {
+				res.TransfersDelivered++
+				res.BytesDelivered += bytes
+				res.LatencyS.Add(d.LatencyS)
+				res.CarriageUSD += d.CarriageUSD
+				res.GatewayUSD += d.GatewayFeeUSD
+				if attempt > 0 {
+					res.RecoveredTransfers++
+				}
+				return
+			}
+		}
+		if !faultsOn {
+			return // keep the fault-free path byte-identical to older runs
+		}
+		delay, ok := retry.DelayS(attempt)
+		if !ok || e.Now()+delay >= sc.DurationS {
+			res.AbandonedTransfers++
+			return
+		}
+		res.Retries++
+		if err := e.After(delay, func(e *sim.Engine) {
+			attemptSend(e, id, bytes, attempt+1)
+		}); err != nil {
+			panic(err) // unreachable: delay validated non-negative
+		}
+	}
 	for _, id := range userIDs {
 		arrivals, err := sim.PoissonArrivals(sc.PerUserRate, sc.DurationS, rng)
 		if err != nil {
@@ -112,18 +212,7 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 			bytes := sim.FlowSizeBytes(sc.MinBytes, sc.MaxBytes, 1.2, rng)
 			if err := engine.Schedule(at, func(e *sim.Engine) {
 				res.TransfersAttempted++
-				if !associated[id] {
-					return
-				}
-				d, _, err := n.SendBest(id, bytes, e.Now())
-				if err != nil {
-					return
-				}
-				res.TransfersDelivered++
-				res.BytesDelivered += bytes
-				res.LatencyS.Add(d.LatencyS)
-				res.CarriageUSD += d.CarriageUSD
-				res.GatewayUSD += d.GatewayFeeUSD
+				attemptSend(e, id, bytes, 0)
 			}); err != nil {
 				return nil, err
 			}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
+	"github.com/openspace-project/openspace/internal/faults"
 	"github.com/openspace-project/openspace/internal/geo"
 )
 
@@ -38,6 +40,7 @@ func TestScenarioValidate(t *testing.T) {
 		func(s *Scenario) { s.PerUserRate = 0 },
 		func(s *Scenario) { s.MinBytes = 0 },
 		func(s *Scenario) { s.MaxBytes = 0 },
+		func(s *Scenario) { s.Faults = faults.Config{SatMTBFS: 3600} }, // enabled but MTTR zero
 	}
 	for i, mutate := range cases {
 		sc := good
@@ -105,6 +108,87 @@ func TestRunScenarioDeterministic(t *testing.T) {
 		a.BytesDelivered != b.BytesDelivered ||
 		a.Handovers != b.Handovers {
 		t.Errorf("scenario not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunScenarioWithFaults drives the workload through an aggressive fault
+// environment: satellites die, terminals re-associate, transfers retry with
+// backoff — and traffic still flows.
+func TestRunScenarioWithFaults(t *testing.T) {
+	n := scenarioNetwork(t)
+	sc := Scenario{
+		DurationS:         900,
+		SnapshotIntervalS: 60,
+		PerUserRate:       0.05,
+		MinBytes:          1_000_000,
+		MaxBytes:          100_000_000,
+		Seed:              9,
+		Faults:            faults.Default().Scale(40), // MTBFs shrunk 40×
+	}
+	res, err := n.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultEvents == 0 {
+		t.Fatal("40× default fault rates over 15 min produced no fault events")
+	}
+	if res.TransfersDelivered == 0 {
+		t.Error("no transfer survived the fault environment")
+	}
+	if res.DroppedTerminals == 0 {
+		t.Error("satellite failures at this rate should drop someone's terminal")
+	}
+	if res.LatencyS.Count() != res.TransfersDelivered {
+		t.Errorf("latency samples %d vs delivered %d", res.LatencyS.Count(), res.TransfersDelivered)
+	}
+}
+
+// TestRunScenarioFaultsDeterministic pins the fault path's reproducibility:
+// two identical fault-enabled runs agree on every counter.
+func TestRunScenarioFaultsDeterministic(t *testing.T) {
+	sc := Scenario{
+		DurationS: 300, SnapshotIntervalS: 60,
+		PerUserRate: 0.05, MinBytes: 1000, MaxBytes: 1_000_000, Seed: 4,
+		Faults: faults.Default().Scale(40),
+	}
+	a, err := scenarioNetwork(t).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenarioNetwork(t).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("fault scenario not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunScenarioDisabledFaultsAreNoOp proves the overlay machinery is
+// invisible when no fault class is enabled: a scenario with an explicitly
+// disabled fault config (and a retry policy, which must be ignored) matches
+// the plain scenario result field for field.
+func TestRunScenarioDisabledFaultsAreNoOp(t *testing.T) {
+	base := Scenario{
+		DurationS: 300, SnapshotIntervalS: 60,
+		PerUserRate: 0.05, MinBytes: 1000, MaxBytes: 1_000_000, Seed: 4,
+	}
+	withOff := base
+	withOff.Faults = faults.Default().Scale(0) // every class disabled
+	withOff.Retry.MaxAttempts = 7              // must be ignored without faults
+	a, err := scenarioNetwork(t).RunScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenarioNetwork(t).RunScenario(withOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("disabled faults changed the run:\n%+v\n%+v", a, b)
+	}
+	if a.FaultEvents != 0 || a.Retries != 0 || a.AbandonedTransfers != 0 {
+		t.Errorf("fault counters nonzero without faults: %+v", a)
 	}
 }
 

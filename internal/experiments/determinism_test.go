@@ -104,6 +104,32 @@ func TestResilienceDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestAvailabilityDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		cfg := DefaultAvailability()
+		cfg.Intensities = []float64{0, 2, 6}
+		cfg.Trials = 2
+		cfg.HorizonS = 1800
+		cfg.Workers = workers
+		r, err := Availability(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if parallel := run(workers); parallel != serial {
+			t.Errorf("availability CSV differs between workers=1 and workers=%d:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, parallel)
+		}
+	}
+}
+
 func capacityCSV(t *testing.T, workers int) string {
 	t.Helper()
 	cfg := DefaultCapacity()

@@ -514,6 +514,54 @@ func TestResilienceShape(t *testing.T) {
 	if _, err := Resilience(ResilienceConfig{MaxFailures: 100, Step: 1, Trials: 1}); err == nil {
 		t.Error("failing the whole fleet should be rejected")
 	}
+	// Step beyond the sweep range used to silently yield a single k=0 point.
+	if _, err := Resilience(ResilienceConfig{MaxFailures: 8, Step: 9, Trials: 1}); err == nil {
+		t.Error("step > max failures should be rejected, not degrade to one point")
+	}
+}
+
+func TestAvailabilitySweep(t *testing.T) {
+	cfg := DefaultAvailability()
+	cfg.Intensities = []float64{0, 2}
+	cfg.Trials = 2
+	cfg.HorizonS = 1800
+	r, err := Availability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per intensity", len(r.Rows))
+	}
+	// The control point: no faults, availability exactly 1 for every flow.
+	zero := r.Rows[0]
+	if zero.Availability != 1 || zero.AvailabilityMin != 1 ||
+		zero.Interruptions != 0 || zero.FaultEvents != 0 {
+		t.Errorf("intensity 0 must be a perfect control point: %+v", zero)
+	}
+	// Faults cost availability.
+	faulty := r.Rows[1]
+	if faulty.FaultEvents == 0 {
+		t.Fatal("2× fault rates over 30 min generated no events")
+	}
+	if faulty.Availability >= 1 || faulty.Availability <= 0 {
+		t.Errorf("faulty availability = %v, want in (0,1)", faulty.Availability)
+	}
+	if faulty.Availability > zero.Availability {
+		t.Error("availability rose with fault intensity")
+	}
+	var buf bytes.Buffer
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")); got != 3 {
+		t.Errorf("CSV lines = %d, want header + 2 rows", got)
+	}
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Availability(AvailabilityConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
 }
 
 func TestSpectrumExperiment(t *testing.T) {

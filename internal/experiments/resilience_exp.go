@@ -43,6 +43,12 @@ func Resilience(cfg ResilienceConfig) (*ResilienceResult, error) {
 	if cfg.MaxFailures < 0 || cfg.Step <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: resilience: bad config")
 	}
+	if cfg.MaxFailures > 0 && cfg.Step > cfg.MaxFailures {
+		// A step beyond the sweep range would silently produce a single
+		// k=0 data point — reject it as a misconfiguration instead.
+		return nil, fmt.Errorf("experiments: resilience: step %d exceeds max failures %d (sweep would have one point)",
+			cfg.Step, cfg.MaxFailures)
+	}
 	c, err := orbit.Iridium().Build()
 	if err != nil {
 		return nil, err

@@ -36,6 +36,9 @@ func DisjointPaths(s *topo.Snapshot, src, dst string, cost CostFunc, k int) ([]P
 			break // no more disjoint capacity
 		}
 		paths = append(paths, p)
+		if len(p.Nodes) < 2 {
+			break // src == dst: the zero-hop path uses no edges; one copy suffices
+		}
 		for i := 0; i+1 < len(p.Nodes); i++ {
 			banned[[2]string{p.Nodes[i], p.Nodes[i+1]}] = true
 		}

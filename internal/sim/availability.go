@@ -1,0 +1,88 @@
+package sim
+
+// FlowAvailability accumulates one flow's outage history: how often it was
+// interrupted, how long it was down, and how quickly each interruption was
+// repaired. It is the per-flow ledger behind the availability experiment
+// (E15): the fault layer calls Down when the flow's active path breaks and
+// Up when recovery (fast reroute or recompute) restores service.
+//
+// The zero value is ready to use and starts in the up state. Not safe for
+// concurrent use (the engine is single-threaded).
+type FlowAvailability struct {
+	// Interruptions counts transitions from up to down.
+	Interruptions int
+	// Reroutes counts interruptions repaired by switching to a precomputed
+	// backup path (fast reroute), as opposed to a full route recompute.
+	Reroutes int
+	// DowntimeS is the total time spent down.
+	DowntimeS float64
+	// RecoveryS holds one time-to-recover sample per completed outage —
+	// the reroute latency the availability experiment reports.
+	RecoveryS Histogram
+
+	down   bool
+	downAt float64
+}
+
+// IsDown reports whether the flow is currently interrupted.
+func (f *FlowAvailability) IsDown() bool { return f.down }
+
+// Down marks the flow interrupted at time t. A flow already down stays in
+// its original outage (overlapping faults extend, not restart, it).
+func (f *FlowAvailability) Down(t float64) {
+	if f.down {
+		return
+	}
+	f.down = true
+	f.downAt = t
+	f.Interruptions++
+}
+
+// Up marks the flow restored at time t, accumulating the outage into
+// DowntimeS and RecoveryS. viaBackup records whether a precomputed backup
+// path (fast reroute) carried the recovery.
+func (f *FlowAvailability) Up(t float64, viaBackup bool) {
+	if !f.down {
+		return
+	}
+	f.down = false
+	d := t - f.downAt
+	if d < 0 {
+		d = 0
+	}
+	f.DowntimeS += d
+	f.RecoveryS.Add(d)
+	if viaBackup {
+		f.Reroutes++
+	}
+}
+
+// Finish closes the observation window at time t: a flow still down has its
+// open outage charged to DowntimeS (with no recovery sample — it never
+// recovered). Call once, at the end of the run.
+func (f *FlowAvailability) Finish(t float64) {
+	if !f.down {
+		return
+	}
+	d := t - f.downAt
+	if d > 0 {
+		f.DowntimeS += d
+	}
+	f.downAt = t
+}
+
+// Availability returns the up fraction of an observation window of the
+// given length, clamped to [0, 1]; 0 with a non-positive window.
+func (f *FlowAvailability) Availability(horizonS float64) float64 {
+	if horizonS <= 0 {
+		return 0
+	}
+	a := 1 - f.DowntimeS/horizonS
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}

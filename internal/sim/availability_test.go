@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlowAvailabilityLifecycle(t *testing.T) {
+	var f FlowAvailability
+	if f.IsDown() {
+		t.Fatal("zero value must start up")
+	}
+	f.Down(10)
+	if !f.IsDown() || f.Interruptions != 1 {
+		t.Fatalf("after Down: down=%v interruptions=%d", f.IsDown(), f.Interruptions)
+	}
+	// Overlapping faults extend the same outage.
+	f.Down(12)
+	if f.Interruptions != 1 {
+		t.Errorf("overlapping Down counted a new interruption: %d", f.Interruptions)
+	}
+	f.Up(13, true)
+	if f.IsDown() || f.DowntimeS != 3 || f.Reroutes != 1 {
+		t.Errorf("after Up: down=%v downtime=%v reroutes=%d", f.IsDown(), f.DowntimeS, f.Reroutes)
+	}
+	if f.RecoveryS.Count() != 1 || f.RecoveryS.Mean() != 3 {
+		t.Errorf("recovery samples = %v", f.RecoveryS)
+	}
+	// Up when already up is a no-op.
+	f.Up(20, false)
+	if f.DowntimeS != 3 || f.RecoveryS.Count() != 1 {
+		t.Error("Up while up changed the ledger")
+	}
+	// Second outage, recovered by recompute (not a reroute).
+	f.Down(50)
+	f.Up(52, false)
+	if f.Interruptions != 2 || f.Reroutes != 1 || f.DowntimeS != 5 {
+		t.Errorf("second outage: interruptions=%d reroutes=%d downtime=%v",
+			f.Interruptions, f.Reroutes, f.DowntimeS)
+	}
+	if got := f.Availability(100); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("availability = %v, want 0.95", got)
+	}
+}
+
+func TestFlowAvailabilityFinishChargesOpenOutage(t *testing.T) {
+	var f FlowAvailability
+	f.Down(90)
+	f.Finish(100)
+	if f.DowntimeS != 10 {
+		t.Errorf("downtime = %v, want 10", f.DowntimeS)
+	}
+	if f.RecoveryS.Count() != 0 {
+		t.Error("an unrecovered outage must not produce a recovery sample")
+	}
+	if !f.IsDown() {
+		t.Error("Finish must not mark the flow recovered")
+	}
+	if got := f.Availability(100); got != 0.9 {
+		t.Errorf("availability = %v, want 0.9", got)
+	}
+	// Finish on an up flow is a no-op.
+	var g FlowAvailability
+	g.Finish(100)
+	if g.DowntimeS != 0 || g.Availability(100) != 1 {
+		t.Error("Finish on an up flow changed the ledger")
+	}
+}
+
+func TestFlowAvailabilityBounds(t *testing.T) {
+	var f FlowAvailability
+	if f.Availability(0) != 0 {
+		t.Error("non-positive window must report 0")
+	}
+	f.DowntimeS = 500
+	if f.Availability(100) != 0 {
+		t.Error("availability must clamp at 0")
+	}
+}

@@ -74,6 +74,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[idx]
 }
 
+// Samples returns a sorted copy of the recorded samples. Aggregators need
+// the raw values: quantiles of a merged distribution cannot be rebuilt from
+// per-histogram summary statistics.
+func (h *Histogram) Samples() []float64 {
+	h.ensureSorted()
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
 // Stddev returns the population standard deviation, or 0 with <2 samples.
 func (h *Histogram) Stddev() float64 {
 	n := len(h.samples)

@@ -1,0 +1,86 @@
+package topo
+
+// Mask hides failed network elements from a snapshot view. Implementations
+// report which nodes and links are currently down; EdgeDown must treat the
+// link as undirected (a failed laser terminal or flapped ISL kills both
+// directions). The fault-injection layer (internal/faults) provides the
+// canonical implementation.
+type Mask interface {
+	// NodeDown reports whether the node is failed.
+	NodeDown(id string) bool
+	// EdgeDown reports whether the undirected link between from and to is
+	// failed.
+	EdgeDown(from, to string) bool
+	// Empty reports whether nothing is down, enabling the no-op fast path.
+	Empty() bool
+}
+
+// Overlay returns the degraded view of s under m: masked nodes disappear
+// along with their incident edges, and masked links disappear in both
+// directions. Geometry is never rebuilt — node pointers and edge values are
+// shared with the original snapshot, and adjacency slices are shared
+// whenever the mask does not touch them, so an overlay costs one filtered
+// pass over the adjacency lists rather than an O(N²) feasibility build.
+//
+// A nil or empty mask returns s itself: fault injection disabled is a
+// provable no-op, which is what lets every fault-free experiment regenerate
+// byte-identical output.
+func (s *Snapshot) Overlay(m Mask) *Snapshot {
+	if m == nil || m.Empty() {
+		return s
+	}
+	out := &Snapshot{
+		TimeS: s.TimeS,
+		nodes: make(map[string]*Node, len(s.nodes)),
+		adj:   make(map[string][]Edge),
+	}
+	for id, n := range s.nodes {
+		if m.NodeDown(id) {
+			continue
+		}
+		out.nodes[id] = n
+	}
+	for id := range out.nodes {
+		es := s.adj[id]
+		drop := 0
+		for _, e := range es {
+			if m.NodeDown(e.To) || m.EdgeDown(e.From, e.To) {
+				drop++
+			}
+		}
+		if drop == 0 {
+			if len(es) > 0 {
+				out.adj[id] = es // untouched list: share, don't copy
+			}
+			out.edges += len(es)
+			continue
+		}
+		if drop == len(es) {
+			continue
+		}
+		kept := make([]Edge, 0, len(es)-drop)
+		for _, e := range es {
+			if m.NodeDown(e.To) || m.EdgeDown(e.From, e.To) {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		out.adj[id] = kept
+		out.edges += len(kept)
+	}
+	return out
+}
+
+// Overlay returns the series with every snapshot degraded under the mask's
+// state at call time. Snapshots the mask does not touch are shared with the
+// original series; an empty mask returns the series itself.
+func (te *TimeExpanded) Overlay(m Mask) *TimeExpanded {
+	if m == nil || m.Empty() {
+		return te
+	}
+	snaps := make([]*Snapshot, len(te.Snaps))
+	for i, s := range te.Snaps {
+		snaps[i] = s.Overlay(m)
+	}
+	return &TimeExpanded{StartS: te.StartS, IntervalS: te.IntervalS, Snaps: snaps}
+}
