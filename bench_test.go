@@ -293,6 +293,62 @@ func BenchmarkSnapshotBuild(b *testing.B) {
 	}
 }
 
+// gridBuildInputs assembles the mega-constellation snapshot inputs: an
+// as-square Walker Delta with +Grid laser wiring, one gateway, one user.
+func gridBuildInputs(tb testing.TB, n int) (topo.Config, []topo.SatSpec, []topo.GroundSpec, []topo.UserSpec) {
+	tb.Helper()
+	w, err := orbit.SquareWalkerDelta(n, 550, 53)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, err := w.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := topo.DefaultConfig()
+	if cfg.StaticISLs, err = w.GridISLs(w.DefaultGrid()); err != nil {
+		tb.Fatal(err)
+	}
+	specs := make([]topo.SatSpec, c.Len())
+	for i, s := range c.Satellites {
+		specs[i] = topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements, HasLaser: true}
+	}
+	grounds := []topo.GroundSpec{{ID: "gs", Provider: "p", Pos: geo.LatLon{Lat: 47.6, Lon: -122.3}}}
+	users := []topo.UserSpec{{ID: "u", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}}}
+	return cfg, specs, grounds, users
+}
+
+// BenchmarkSnapshotBuildGrid measures one +Grid mega-constellation snapshot
+// at the scaling gate's two sizes. With the spatial index the per-snapshot
+// cost is near-linear in N; the CI scaling-gate job asserts that ratio.
+func BenchmarkSnapshotBuildGrid(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg, specs, grounds, users := gridBuildInputs(b, n)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = topo.Build(float64(i), cfg, specs, grounds, users)
+			}
+		})
+	}
+}
+
+// BenchmarkTimeExpandedIncremental measures the delta-update path: a 30-step
+// time-expanded build where consecutive snapshots reuse the Verlet-style
+// watch lists instead of re-indexing all N satellites each step.
+func BenchmarkTimeExpandedIncremental(b *testing.B) {
+	cfg, specs, grounds, users := gridBuildInputs(b, 500)
+	cfg.Workers = 1 // isolate the incremental path from fan-out speedup
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.BuildTimeExpanded(0, 30*60, 60, cfg, specs, grounds, users); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDijkstra measures one shortest-path query on the full snapshot.
 func BenchmarkDijkstra(b *testing.B) {
 	c, err := orbit.Iridium().Build()

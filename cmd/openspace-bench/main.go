@@ -175,6 +175,26 @@ var experimentTable = []entry{
 		cfg.Workers = workers
 		return experiments.Availability(cfg)
 	}},
+	{"capacity-scale", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultCapacityScale()
+		if quick {
+			// One N=1000 +Grid cell — the CI determinism/smoke workload.
+			cfg.MinSats, cfg.MaxSats, cfg.Trials = 1000, 1000, 2
+		}
+		cfg.Workers = workers
+		return experiments.Capacity(cfg)
+	}},
+	{"availability-scale", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultAvailabilityScale()
+		if quick {
+			// One N=1000 +Grid cell — the CI determinism/smoke workload.
+			cfg.GridSats = 1000
+			cfg.Intensities = []float64{0, 1}
+			cfg.Trials, cfg.HorizonS = 1, 1800
+		}
+		cfg.Workers = workers
+		return experiments.Availability(cfg)
+	}},
 }
 
 func run(which, csvDir string, quick bool, workers int) error {

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
@@ -121,16 +122,16 @@ func (c NetworkConfig) Validate() error {
 	return nil
 }
 
-// withDefaults fills zero-valued fields. Topo.Workers is orthogonal to
-// the link-feasibility rules: a config that sets only the worker count
-// still gets the default feasibility rules.
+// withDefaults fills zero-valued fields. Topo.Workers and any explicit
+// ISL wiring plan are orthogonal to the link-feasibility rules: a config
+// that sets only those still gets the default feasibility rules.
 func (c NetworkConfig) withDefaults() NetworkConfig {
-	workers := c.Topo.Workers
-	c.Topo.Workers = 0
-	if c.Topo == (topo.Config{}) {
+	workers, static := c.Topo.Workers, c.Topo.StaticISLs
+	c.Topo.Workers, c.Topo.StaticISLs = 0, nil
+	if reflect.DeepEqual(c.Topo, topo.Config{}) {
 		c.Topo = topo.DefaultConfig()
 	}
-	c.Topo.Workers = workers
+	c.Topo.Workers, c.Topo.StaticISLs = workers, static
 	if c.CertTTLS == 0 {
 		c.CertTTLS = 24 * 3600
 	}

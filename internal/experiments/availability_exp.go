@@ -34,6 +34,14 @@ type AvailabilityConfig struct {
 	Recovery faults.RecoveryConfig
 	Seed     int64
 	Workers  int // parallel trial workers; ≤0 = one per CPU
+	// GridSats switches the constellation from the Iridium reference
+	// (the default, 0) to an as-square Walker Delta of that size with
+	// explicit +Grid laser ISL wiring — the mega-constellation variant,
+	// where the fault surface (satellites and planned links) scales
+	// linearly with the fleet.
+	GridSats           int
+	GridAltitudeKm     float64
+	GridInclinationDeg float64
 }
 
 // DefaultAvailability sweeps 0–8× the reference fault rates over six-hour
@@ -47,6 +55,23 @@ func DefaultAvailability() AvailabilityConfig {
 		Recovery:    faults.DefaultRecovery(),
 		Seed:        23,
 	}
+}
+
+// DefaultAvailabilityScale is the mega-constellation variant of E15:
+// protected flows riding out fault timelines on a 4 000-satellite
+// Walker-Delta +Grid. Intensities and trials are trimmed — the fault
+// population is ~60× Iridium's, so each cell already aggregates far more
+// events than the reference sweep.
+func DefaultAvailabilityScale() AvailabilityConfig {
+	cfg := DefaultAvailability()
+	cfg.GridSats = 4000
+	cfg.GridAltitudeKm = 550
+	cfg.GridInclinationDeg = 53
+	cfg.Intensities = []float64{0, 1, 4}
+	cfg.Trials = 2
+	cfg.HorizonS = 3600
+	cfg.Seed = 29
+	return cfg
 }
 
 // AvailabilityRow is one swept intensity's aggregated outcome.
@@ -77,9 +102,27 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 	if len(cfg.Intensities) == 0 || cfg.HorizonS <= 0 || cfg.Trials <= 0 {
 		return nil, fmt.Errorf("experiments: availability: bad config")
 	}
-	c, err := orbit.Iridium().Build()
-	if err != nil {
-		return nil, err
+	tcfg := topo.DefaultConfig()
+	tcfg.MinElevationDeg = 0 // isolate fault dynamics from access scarcity
+	var c *orbit.Constellation
+	allLaser := false
+	if cfg.GridSats > 0 {
+		w, err := orbit.SquareWalkerDelta(cfg.GridSats, cfg.GridAltitudeKm, cfg.GridInclinationDeg)
+		if err != nil {
+			return nil, err
+		}
+		if c, err = w.Build(); err != nil {
+			return nil, err
+		}
+		if tcfg.StaticISLs, err = w.GridISLs(w.DefaultGrid()); err != nil {
+			return nil, err
+		}
+		allLaser = true
+	} else {
+		var err error
+		if c, err = orbit.Iridium().Build(); err != nil {
+			return nil, err
+		}
 	}
 	users := []topo.UserSpec{
 		{ID: "u0", Provider: "p", Pos: geo.LatLon{Lat: -1.29, Lon: 36.82}},
@@ -96,11 +139,9 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 			specs = append(specs, faults.FlowSpec{ID: u.ID + "-" + g.ID, Src: u.ID, Dst: g.ID})
 		}
 	}
-	tcfg := topo.DefaultConfig()
-	tcfg.MinElevationDeg = 0 // isolate fault dynamics from access scarcity
 	sats := make([]topo.SatSpec, 0, c.Len())
 	for _, s := range c.Satellites {
-		sats = append(sats, topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements})
+		sats = append(sats, topo.SatSpec{ID: s.ID, Provider: "p", Elements: s.Elements, HasLaser: allLaser})
 	}
 	snap := topo.Build(0, tcfg, sats, grounds, users)
 	in := faults.InputsFromSnapshot(snap)

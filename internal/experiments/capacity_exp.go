@@ -38,6 +38,15 @@ type CapacityConfig struct {
 	MinElevationDeg float64
 	Seed            int64
 	Workers         int // parallel trial workers; ≤0 = one per CPU
+	// Topology selects the constellation generator per swept N:
+	// "random" (the default, the paper's §4 uncoordinated-fleets model)
+	// draws independent circular orbits per trial; "grid" flies an
+	// as-square-as-possible Walker Delta with explicit +Grid ISL wiring —
+	// the mega-constellation layout, whose linear link count is what
+	// makes the N-sweep to thousands tractable.
+	Topology string
+	// GridInclinationDeg is the Walker Delta inclination in grid mode.
+	GridInclinationDeg float64
 }
 
 // DefaultCapacity sweeps 4..96 satellites: 300 users at 25 Mbps each
@@ -60,6 +69,23 @@ func DefaultCapacity() CapacityConfig {
 		MinElevationDeg: 10,
 		Seed:            11,
 	}
+}
+
+// DefaultCapacityScale is the mega-constellation variant of E14: a
+// Walker-Delta +Grid sweep from 500 to 4 000 satellites. All satellites
+// carry laser terminals (the Starlink configuration); the offered load
+// and gateway siting match DefaultCapacity so the two sweeps splice into
+// one curve.
+func DefaultCapacityScale() CapacityConfig {
+	cfg := DefaultCapacity()
+	cfg.MinSats, cfg.MaxSats, cfg.Step = 500, 4000, 500
+	cfg.Trials = 3 // the constellation is deterministic; trials vary load
+	cfg.AltitudeKm = 550
+	cfg.LaserFraction = 1
+	cfg.Topology = "grid"
+	cfg.GridInclinationDeg = 53
+	cfg.Seed = 17
+	return cfg
 }
 
 // CapacityResult carries the sweep's series plus the offered-load baseline.
@@ -130,6 +156,14 @@ func Capacity(cfg CapacityConfig) (*CapacityResult, error) {
 	if cfg.Trials <= 0 || cfg.Users <= 0 || cfg.PerUserBps <= 0 || cfg.Gateways < 2 {
 		return nil, fmt.Errorf("experiments: capacity: trials, users, per-user load must be positive and gateways ≥ 2")
 	}
+	gridMode := false
+	switch cfg.Topology {
+	case "", "random":
+	case "grid":
+		gridMode = true
+	default:
+		return nil, fmt.Errorf("experiments: capacity: unknown topology %q", cfg.Topology)
+	}
 	gws := capacityGateways(cfg.Gateways)
 	groundSpecs := make([]topo.GroundSpec, len(gws))
 	for i, g := range gws {
@@ -151,20 +185,64 @@ func Capacity(cfg CapacityConfig) (*CapacityResult, error) {
 		points = append(points, n)
 	}
 
+	// Grid mode flies one deterministic Walker Delta per swept N; trials
+	// then vary only the offered load. The constellation, wiring plan,
+	// and per-point topo config are precomputed once and shared read-only
+	// across the pool.
+	gridConst := make([]*orbit.Constellation, len(points))
+	gridCfgs := make([]topo.Config, len(points))
+	gridSpecs := make([][]topo.SatSpec, len(points))
+	if gridMode {
+		for pi, n := range points {
+			w, err := orbit.SquareWalkerDelta(n, cfg.AltitudeKm, cfg.GridInclinationDeg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: capacity: %w", err)
+			}
+			c, err := w.Build()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: capacity: %w", err)
+			}
+			pairs, err := w.GridISLs(w.DefaultGrid())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: capacity: %w", err)
+			}
+			gridConst[pi] = c
+			gridCfgs[pi] = tcfg
+			gridCfgs[pi].StaticISLs = pairs
+			specs := make([]topo.SatSpec, c.Len())
+			for si, s := range c.Satellites {
+				specs[si] = topo.SatSpec{
+					ID: s.ID, Provider: "p", Elements: s.Elements,
+					HasLaser: float64(si) < cfg.LaserFraction*float64(n),
+					MaxISLs:  cfg.MaxISLs,
+				}
+			}
+			gridSpecs[pi] = specs
+		}
+	}
+
 	outs, err := exec.Map(cfg.Workers, len(points)*cfg.Trials, func(i int) (capacityTrialOut, error) {
-		n, trial := points[i/cfg.Trials], i%cfg.Trials
+		pi, trial := i/cfg.Trials, i%cfg.Trials
+		n := points[pi]
 		// Common random numbers: the user population and destination draws
 		// depend only on the trial, so every swept N faces the same offered
 		// load and the curve isolates the constellation-size effect.
-		rng := exec.RNG(cfg.Seed, int64(n), int64(trial))
 		demandRNG := exec.RNG(cfg.Seed, -1, int64(trial))
-		c := orbit.RandomCircular(n, cfg.AltitudeKm, rng)
-		specs := make([]topo.SatSpec, c.Len())
-		for si, s := range c.Satellites {
-			specs[si] = topo.SatSpec{
-				ID: s.ID, Provider: "p", Elements: s.Elements,
-				HasLaser: float64(si) < cfg.LaserFraction*float64(n),
-				MaxISLs:  cfg.MaxISLs,
+		var c *orbit.Constellation
+		var specs []topo.SatSpec
+		buildCfg := tcfg
+		if gridMode {
+			c, specs, buildCfg = gridConst[pi], gridSpecs[pi], gridCfgs[pi]
+		} else {
+			rng := exec.RNG(cfg.Seed, int64(n), int64(trial))
+			c = orbit.RandomCircular(n, cfg.AltitudeKm, rng)
+			specs = make([]topo.SatSpec, c.Len())
+			for si, s := range c.Satellites {
+				specs[si] = topo.SatSpec{
+					ID: s.ID, Provider: "p", Elements: s.Elements,
+					HasLaser: float64(si) < cfg.LaserFraction*float64(n),
+					MaxISLs:  cfg.MaxISLs,
+				}
 			}
 		}
 		users := sim.CityUsers(cfg.Users, cfg.ScatterKm, demandRNG)
@@ -176,7 +254,7 @@ func Capacity(cfg CapacityConfig) (*CapacityResult, error) {
 		if len(dm.Demands) == 0 {
 			return out, nil // nothing routable this trial (dark constellation)
 		}
-		snap := topo.Build(0, tcfg, specs, groundSpecs, nil)
+		snap := topo.Build(0, buildCfg, specs, groundSpecs, nil)
 		net := traffic.NewNetwork(snap)
 		net.Recapacitate(model)
 		alloc, err := traffic.MaxMinFair(net, dm.Demands, traffic.AllocConfig{KPaths: cfg.KPaths})

@@ -1,0 +1,185 @@
+package orbit
+
+import (
+	"testing"
+)
+
+// gridDegrees tallies per-satellite link counts of a wiring plan.
+func gridDegrees(t *testing.T, pairs []ISLPair) map[string]int {
+	t.Helper()
+	deg := map[string]int{}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p.A == p.B {
+			t.Fatalf("self-loop %q", p.A)
+		}
+		k := p.A + "|" + p.B
+		if p.B < p.A {
+			k = p.B + "|" + p.A
+		}
+		if seen[k] {
+			t.Fatalf("duplicate pair %q", k)
+		}
+		seen[k] = true
+		deg[p.A]++
+		deg[p.B]++
+	}
+	return deg
+}
+
+func TestGridISLsDeltaTorus(t *testing.T) {
+	w := WalkerConfig{Name: "d", TotalSats: 40, Planes: 5, PhasingFactor: 1,
+		AltitudeKm: 550, InclinationDeg: 53}
+	pairs, err := w.GridISLs(w.DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A seam-wired Delta is a torus: 2 links per satellite ring-wise and
+	// 2 plane-wise, so |E| = 2T and every degree is exactly 4.
+	if want := 2 * w.TotalSats; len(pairs) != want {
+		t.Fatalf("%d pairs, want %d", len(pairs), want)
+	}
+	deg := gridDegrees(t, pairs)
+	if len(deg) != w.TotalSats {
+		t.Fatalf("%d wired satellites, want %d", len(deg), w.TotalSats)
+	}
+	for id, d := range deg {
+		if d != 4 {
+			t.Fatalf("%s degree %d, want 4", id, d)
+		}
+	}
+	// Wiring must reference exactly the IDs Build generates.
+	c, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, s := range c.Satellites {
+		ids[s.ID] = true
+	}
+	for _, p := range pairs {
+		if !ids[p.A] || !ids[p.B] {
+			t.Fatalf("pair %v names satellites outside the constellation", p)
+		}
+	}
+}
+
+func TestGridISLsStarSeamOpen(t *testing.T) {
+	w := Iridium()
+	pairs, err := w.GridISLs(w.DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPlane := w.TotalSats / w.Planes
+	// Star seam open: (P-1)·S cross-plane links instead of P·S.
+	if want := w.TotalSats + (w.Planes-1)*perPlane; len(pairs) != want {
+		t.Fatalf("%d pairs, want %d", len(pairs), want)
+	}
+	deg := gridDegrees(t, pairs)
+	three, four := 0, 0
+	for _, d := range deg {
+		switch d {
+		case 3:
+			three++
+		case 4:
+			four++
+		default:
+			t.Fatalf("unexpected degree %d", d)
+		}
+	}
+	// The two seam planes run at degree 3.
+	if three != 2*perPlane || four != w.TotalSats-2*perPlane {
+		t.Fatalf("degree split three=%d four=%d", three, four)
+	}
+}
+
+func TestGridISLsDegenerateRings(t *testing.T) {
+	// Two satellites per plane: one intra-plane link, not a doubled ring.
+	w := WalkerConfig{TotalSats: 6, Planes: 3, AltitudeKm: 550, InclinationDeg: 53}
+	pairs, err := w.GridISLs(GridConfig{CrossSeam: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridDegrees(t, pairs) // fails on duplicates
+	// 3 intra-plane + 3·2 cross-plane (torus over 3 planes).
+	if len(pairs) != 3+6 {
+		t.Fatalf("%d pairs, want 9", len(pairs))
+	}
+	// Two planes: the seam link would duplicate the p0↔p1 wiring.
+	w2 := WalkerConfig{TotalSats: 8, Planes: 2, AltitudeKm: 550, InclinationDeg: 53}
+	pairs2, err := w2.GridISLs(GridConfig{CrossSeam: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridDegrees(t, pairs2)
+}
+
+func TestMultiShellBuild(t *testing.T) {
+	m := StarlinkGen1()
+	c, pairs, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1584 + 1584 + 720; c.Len() != want {
+		t.Fatalf("%d satellites, want %d", c.Len(), want)
+	}
+	ids := map[string]bool{}
+	for _, s := range c.Satellites {
+		if ids[s.ID] {
+			t.Fatalf("duplicate satellite ID %q across shells", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	deg := gridDegrees(t, pairs)
+	for id, d := range deg {
+		if d > 4 {
+			t.Fatalf("%s degree %d", id, d)
+		}
+		if !ids[id] {
+			t.Fatalf("wired unknown satellite %q", id)
+		}
+	}
+	// Duplicate shell names must be rejected: IDs would collide.
+	dup := MultiShell{Name: "x", Shells: []Shell{
+		{Walker: StarlinkShell()}, {Walker: StarlinkShell()},
+	}}
+	if _, _, err := dup.Build(); err == nil {
+		t.Fatal("duplicate shell names accepted")
+	}
+	if _, _, err := (MultiShell{Name: "empty"}).Build(); err == nil {
+		t.Fatal("empty multishell accepted")
+	}
+}
+
+func TestSquareWalkerDelta(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 66, 500, 1000, 2000, 4000} {
+		w, err := SquareWalkerDelta(n, 550, 53)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if w.TotalSats != n || n%w.Planes != 0 {
+			t.Fatalf("n=%d: planes %d does not divide", n, w.Planes)
+		}
+		if w.Star {
+			t.Fatalf("n=%d: want a Delta", n)
+		}
+		c, err := w.Build()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c.Len() != n {
+			t.Fatalf("n=%d: built %d", n, c.Len())
+		}
+	}
+	// 4000 should split 50×80, not 1×4000.
+	w, err := SquareWalkerDelta(4000, 550, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Planes != 50 && w.Planes != 80 {
+		t.Fatalf("4000 satellites split into %d planes", w.Planes)
+	}
+	if _, err := SquareWalkerDelta(0, 550, 53); err == nil {
+		t.Fatal("accepted zero satellites")
+	}
+}

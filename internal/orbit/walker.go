@@ -72,11 +72,7 @@ func (w WalkerConfig) Build() (*Constellation, error) {
 	if w.Star {
 		nodeSpread = 180.0
 	}
-	name := w.Name
-	if name == "" {
-		name = fmt.Sprintf("walker-%d-%d-%d", w.TotalSats, w.Planes, w.PhasingFactor)
-	}
-	c := &Constellation{Name: name}
+	c := &Constellation{Name: w.resolvedName()}
 	for p := 0; p < w.Planes; p++ {
 		raan := nodeSpread * float64(p) / float64(w.Planes)
 		for s := 0; s < perPlane; s++ {
@@ -84,7 +80,7 @@ func (w WalkerConfig) Build() (*Constellation, error) {
 			ma := 360.0*float64(s)/float64(perPlane) +
 				360.0*float64(w.PhasingFactor)*float64(p)/float64(w.TotalSats)
 			c.Satellites = append(c.Satellites, Satellite{
-				ID:       fmt.Sprintf("%s-p%ds%d", name, p, s),
+				ID:       w.SatID(p, s),
 				Elements: Circular(w.AltitudeKm, w.InclinationDeg, raan, ma),
 			})
 		}

@@ -1,0 +1,317 @@
+package topo
+
+import (
+	"math"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// builder constructs snapshots of one fixed deployment (satellites,
+// ground segment, feasibility config) at many timestamps. It is the
+// engine behind both Build (one fresh builder per call) and the
+// incremental BuildTimeExpanded path (one builder per contiguous block of
+// steps), and the two are byte-identical by construction: every snapshot
+// is assembled by exact feasibility filtering over candidate sets that
+// provably contain the feasible sets.
+//
+// Between nearby timestamps the builder reuses its candidate ("watch")
+// lists, molecular-dynamics style: a spatial-index query at time t₀ with
+// radius R + skin stays a superset of the radius-R feasible set until
+// relative motion could have closed the skin gap, i.e. for
+// |t−t₀| ≤ skin / closing-speed. Orbital geometry gives hard closing
+// speed bounds (vis-viva at perigee plus the Earth-rotation term), so
+// reuse is sound, not heuristic — and when a requested time falls outside
+// the validity window the lists are simply rebuilt.
+type builder struct {
+	cfg     Config
+	sats    []SatSpec
+	grounds []GroundSpec
+	users   []UserSpec
+
+	entities []groundEntity // grounds then users, flattened
+
+	maxISLKm     float64  // global candidate radius for geometric ISL wiring
+	attachKm     float64  // ground↔satellite candidate radius
+	staticPairs  [][2]int // resolved Config.StaticISLs; nil = geometric rule
+	staticMode   bool
+	pairSpeed    float64 // bound on any sat-sat closing speed (km/s)
+	groundSpeed  float64 // bound on any sat-ground closing speed (km/s)
+	skinISLKm    float64
+	skinGroundKm float64
+
+	// Per-timestamp scratch, reused across SnapshotAt calls. Nothing here
+	// escapes into returned snapshots.
+	pos      []geo.Vec3
+	feasible []feasiblePair
+	degree   []int
+
+	// Watch lists and their validity window.
+	watchISL    [][2]int
+	watchGround [][]int
+	watchT      float64
+	watchValidS float64
+	haveWatch   bool
+}
+
+type groundEntity struct {
+	id       string
+	provider string
+	kind     LinkKind
+	capBps   float64
+	ll       geo.LatLon
+	pos      geo.Vec3
+}
+
+type feasiblePair struct {
+	i, j int
+	d    float64
+}
+
+// newBuilder precomputes everything timestamp-independent: ground
+// geometry, candidate radii from the orbit envelopes, closing-speed
+// bounds, and the resolved explicit wiring plan if one is configured.
+func newBuilder(cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) *builder {
+	b := &builder{
+		cfg: cfg, sats: sats, grounds: grounds, users: users,
+		pos:    make([]geo.Vec3, len(sats)),
+		degree: make([]int, len(sats)),
+	}
+	for _, g := range grounds {
+		b.entities = append(b.entities, groundEntity{
+			id: g.ID, provider: g.Provider, kind: LinkGround,
+			capBps: cfg.GroundBps, ll: g.Pos, pos: g.Pos.Vec3(0),
+		})
+	}
+	for _, u := range users {
+		b.entities = append(b.entities, groundEntity{
+			id: u.ID, provider: u.Provider, kind: LinkAccess,
+			capBps: cfg.AccessBps, ll: u.Pos, pos: u.Pos.Vec3(0),
+		})
+	}
+
+	// Orbit envelopes: apogee bounds the altitude a ground terminal can
+	// see; vis-viva at perigee plus the frame-rotation term bounds any
+	// satellite's ECEF speed for the watch-list validity windows.
+	maxApogeeAlt, maxSpeed := 1.0, 0.0
+	for i := range sats {
+		e := sats[i].Elements
+		a := e.SemiMajorAxisKm
+		if a <= 0 {
+			continue
+		}
+		rp := a * (1 - e.Eccentricity)
+		ra := a * (1 + e.Eccentricity)
+		if alt := ra - geo.EarthRadiusKm; alt > maxApogeeAlt {
+			maxApogeeAlt = alt
+		}
+		v := math.Sqrt(geo.EarthMuKm3S2*(2/rp-1/a)) + geo.EarthRotationRadS*ra
+		if v > maxSpeed {
+			maxSpeed = v
+		}
+	}
+	b.pairSpeed = 2 * maxSpeed
+	b.groundSpeed = maxSpeed
+	b.attachKm = attachRadiusKm(maxApogeeAlt, cfg.MinElevationDeg)
+
+	lasers := 0
+	for i := range sats {
+		if sats[i].HasLaser {
+			lasers++
+		}
+	}
+	b.maxISLKm = cfg.ISLRangeKm
+	if lasers >= 2 && cfg.LaserRangeKm > b.maxISLKm {
+		b.maxISLKm = cfg.LaserRangeKm
+	}
+
+	if len(cfg.StaticISLs) > 0 {
+		b.staticMode = true
+		b.staticPairs = resolveStaticISLs(cfg.StaticISLs, sats)
+	}
+
+	// A 15 % skin keeps watch lists tight while giving a useful validity
+	// window at fine snapshot cadences; any positive value is correct.
+	b.skinISLKm = math.Max(1, 0.15*b.maxISLKm)
+	b.skinGroundKm = math.Max(1, 0.15*b.attachKm)
+	return b
+}
+
+// resolveStaticISLs maps an explicit wiring plan onto satellite indices,
+// dropping pairs that name unknown satellites or self-loops and
+// de-duplicating, so the plan behaves like a candidate set.
+func resolveStaticISLs(plan []orbit.ISLPair, sats []SatSpec) [][2]int {
+	idx := make(map[string]int, len(sats))
+	for i := range sats {
+		idx[sats[i].ID] = i
+	}
+	pairs := make([][2]int, 0, len(plan))
+	for _, pr := range plan {
+		i, okA := idx[pr.A]
+		j, okB := idx[pr.B]
+		if !okA || !okB || i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		pairs = append(pairs, [2]int{i, j})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	// Deduplicate in place.
+	out := pairs[:0]
+	for k, p := range pairs {
+		if k == 0 || p != pairs[k-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// refreshWatch rebuilds the candidate lists from a fresh spatial index at
+// time t and recomputes how long they stay supersets of the feasible
+// sets.
+func (b *builder) refreshWatch(t float64) {
+	cell := b.maxISLKm + b.skinISLKm
+	if b.staticMode || cell <= 0 {
+		cell = b.attachKm + b.skinGroundKm
+	}
+	ix := newSatIndex(b.pos, cell)
+
+	if !b.staticMode {
+		b.watchISL = ix.pairsWithin(b.maxISLKm+b.skinISLKm, b.watchISL[:0])
+	}
+
+	if cap(b.watchGround) < len(b.entities) {
+		b.watchGround = make([][]int, len(b.entities))
+	}
+	b.watchGround = b.watchGround[:len(b.entities)]
+	for k := range b.entities {
+		b.watchGround[k] = ix.within(b.entities[k].pos, b.attachKm+b.skinGroundKm, b.watchGround[k][:0])
+	}
+
+	b.watchT = t
+	b.watchValidS = math.Inf(1)
+	if !b.staticMode && b.pairSpeed > 0 {
+		b.watchValidS = b.skinISLKm / b.pairSpeed
+	}
+	if b.groundSpeed > 0 && len(b.entities) > 0 {
+		if v := b.skinGroundKm / b.groundSpeed; v < b.watchValidS {
+			b.watchValidS = v
+		}
+	}
+	b.haveWatch = true
+}
+
+// SnapshotAt assembles the snapshot at time t. Candidate lists are
+// reused when t falls inside their validity window and rebuilt otherwise;
+// either way the output equals a from-scratch build at t.
+func (b *builder) SnapshotAt(t float64) *Snapshot {
+	for i := range b.sats {
+		b.pos[i] = b.sats[i].Elements.PositionECEF(t)
+	}
+	if !b.haveWatch || math.Abs(t-b.watchT) > b.watchValidS {
+		b.refreshWatch(t)
+	}
+
+	s := &Snapshot{
+		TimeS: t,
+		nodes: make(map[string]*Node, len(b.sats)+len(b.entities)),
+		adj:   make(map[string][]Edge),
+	}
+	for i := range b.sats {
+		sp := &b.sats[i]
+		s.nodes[sp.ID] = &Node{
+			ID: sp.ID, Kind: KindSatellite, Provider: sp.Provider,
+			Pos: b.pos[i], HasLaser: sp.HasLaser,
+		}
+	}
+	for k := range b.entities {
+		e := &b.entities[k]
+		kind := KindGroundStation
+		if e.kind == LinkAccess {
+			kind = KindUser
+		}
+		s.nodes[e.id] = &Node{ID: e.id, Kind: kind, Provider: e.provider, Pos: e.pos}
+	}
+
+	// Inter-satellite links: exact feasibility over the candidate pairs,
+	// shortest first, accepted greedily under per-satellite degree caps —
+	// identical to filtering all N² pairs, at a fraction of the scan.
+	cands := b.watchISL
+	if b.staticMode {
+		cands = b.staticPairs
+	}
+	b.feasible = b.feasible[:0]
+	for _, p := range cands {
+		i, j := p[0], p[1]
+		d := b.pos[i].DistanceKm(b.pos[j])
+		maxRange := b.cfg.ISLRangeKm
+		if b.sats[i].HasLaser && b.sats[j].HasLaser && b.cfg.LaserRangeKm > maxRange {
+			maxRange = b.cfg.LaserRangeKm
+		}
+		if d > maxRange || !geo.LineOfSight(b.pos[i], b.pos[j]) {
+			continue
+		}
+		b.feasible = append(b.feasible, feasiblePair{i: i, j: j, d: d})
+	}
+	fs := b.feasible
+	sort.Slice(fs, func(a, b int) bool {
+		if fs[a].d != fs[b].d { //lint:allow floateq exact sort tie-break keeps ISL pairing deterministic
+			return fs[a].d < fs[b].d
+		}
+		if fs[a].i != fs[b].i {
+			return fs[a].i < fs[b].i
+		}
+		return fs[a].j < fs[b].j
+	})
+	for i := range b.degree {
+		b.degree[i] = 0
+	}
+	limit := func(i int) int {
+		if b.sats[i].MaxISLs <= 0 {
+			return int(^uint(0) >> 1)
+		}
+		return b.sats[i].MaxISLs
+	}
+	for _, p := range fs {
+		if b.degree[p.i] >= limit(p.i) || b.degree[p.j] >= limit(p.j) {
+			continue
+		}
+		b.degree[p.i]++
+		b.degree[p.j]++
+		kind, capBps := LinkISLRF, b.cfg.RFISLBps
+		if b.sats[p.i].HasLaser && b.sats[p.j].HasLaser && p.d <= b.cfg.LaserRangeKm {
+			kind, capBps = LinkISLLaser, b.cfg.LaserISLBps
+		}
+		s.addBidirectional(b.sats[p.i].ID, b.sats[p.j].ID, kind, p.d, capBps,
+			b.sats[p.i].Provider != b.sats[p.j].Provider)
+	}
+
+	// Ground-station and user access links by elevation mask, over the
+	// per-entity candidate satellites.
+	for k := range b.entities {
+		e := &b.entities[k]
+		for _, i := range b.watchGround[k] {
+			if geo.ElevationDeg(e.ll, b.pos[i]) < b.cfg.MinElevationDeg {
+				continue
+			}
+			d := e.pos.DistanceKm(b.pos[i])
+			s.addBidirectional(e.id, b.sats[i].ID, e.kind, d, e.capBps,
+				e.provider != b.sats[i].Provider)
+		}
+	}
+
+	// Deterministic adjacency order.
+	for id := range s.adj {
+		es := s.adj[id]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package topo
+
+import (
+	"math"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/geo"
+)
+
+// satIndex is a uniform cell grid over satellite ECEF positions — the
+// spatial index that replaces the O(N²) all-pairs scans of snapshot
+// construction. Cells are cubes of cellKm kilometres keyed by their
+// integer coordinates; a range query enumerates only the cells a ball
+// overlaps, so candidate generation is linear in the fleet size times the
+// (bounded) neighbourhood occupancy instead of quadratic in the fleet.
+//
+// The index is purely a pruning structure: it may return candidates
+// beyond the query radius (cell corners), and callers re-apply the exact
+// feasibility predicates. It never misses a point within the radius, so a
+// build that filters index candidates is byte-identical to one that
+// filters all pairs.
+type satIndex struct {
+	cellKm float64
+	cells  map[[3]int32][]int // satellite indices, ascending per cell
+	pos    []geo.Vec3
+}
+
+// newSatIndex buckets the positions into cells of the given size. Cell
+// size trades lookup fan-out against candidate tightness; pairsWithin and
+// within are exact-superset queries at any positive size.
+func newSatIndex(pos []geo.Vec3, cellKm float64) *satIndex {
+	if cellKm <= 0 {
+		cellKm = 1
+	}
+	ix := &satIndex{
+		cellKm: cellKm,
+		cells:  make(map[[3]int32][]int, len(pos)),
+		pos:    pos,
+	}
+	for i, p := range pos {
+		k := ix.key(p)
+		ix.cells[k] = append(ix.cells[k], i)
+	}
+	return ix
+}
+
+func (ix *satIndex) key(p geo.Vec3) [3]int32 {
+	return [3]int32{
+		int32(math.Floor(p.X / ix.cellKm)),
+		int32(math.Floor(p.Y / ix.cellKm)),
+		int32(math.Floor(p.Z / ix.cellKm)),
+	}
+}
+
+// reach returns how many cells out a ball of radius rKm can spill.
+func (ix *satIndex) reach(rKm float64) int32 {
+	return int32(math.Ceil(rKm / ix.cellKm))
+}
+
+// pairsWithin appends to dst every unordered index pair (i < j) whose
+// separation can be ≤ rKm: all pairs co-resident within reach cells.
+// Each pair is visited exactly once (from its lower index), in ascending
+// (i, then cell-lexicographic, then j) order — deterministic by
+// construction, no sorting needed.
+func (ix *satIndex) pairsWithin(rKm float64, dst [][2]int) [][2]int {
+	r := ix.reach(rKm)
+	for i := range ix.pos {
+		base := ix.key(ix.pos[i])
+		for dx := -r; dx <= r; dx++ {
+			for dy := -r; dy <= r; dy++ {
+				for dz := -r; dz <= r; dz++ {
+					k := [3]int32{base[0] + dx, base[1] + dy, base[2] + dz}
+					for _, j := range ix.cells[k] {
+						if j > i {
+							dst = append(dst, [2]int{i, j})
+						}
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// within appends to dst every satellite index whose distance to p can be
+// ≤ rKm, then sorts the result ascending so callers see a canonical
+// order regardless of cell layout.
+func (ix *satIndex) within(p geo.Vec3, rKm float64, dst []int) []int {
+	r := ix.reach(rKm)
+	base := ix.key(p)
+	start := len(dst)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for dz := -r; dz <= r; dz++ {
+				k := [3]int32{base[0] + dx, base[1] + dy, base[2] + dz}
+				dst = append(dst, ix.cells[k]...)
+			}
+		}
+	}
+	sort.Ints(dst[start:])
+	return dst
+}
+
+// attachRadiusKm bounds how far a ground terminal can see a satellite:
+// the slant range to the highest satellite at the elevation mask, plus a
+// kilometre of float margin so the index never prunes a point the exact
+// elevation test would accept. Masks below the nadir clamp to the
+// through-Earth maximum.
+func attachRadiusKm(maxAltKm, minElevationDeg float64) float64 {
+	if maxAltKm <= 0 {
+		maxAltKm = 1
+	}
+	if minElevationDeg < -90 {
+		minElevationDeg = -90
+	}
+	return geo.SlantRangeKm(maxAltKm, minElevationDeg) + 1
+}

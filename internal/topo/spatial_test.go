@@ -1,0 +1,306 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/geo"
+	"github.com/openspace-project/openspace/internal/orbit"
+)
+
+// bruteFeasibleISLs is the reference O(N²) feasibility scan the spatial
+// index replaced: every pair within its class range with line of sight.
+func bruteFeasibleISLs(cfg Config, sats []SatSpec, pos []geo.Vec3) [][2]int {
+	var out [][2]int
+	for i := 0; i < len(sats); i++ {
+		for j := i + 1; j < len(sats); j++ {
+			d := pos[i].DistanceKm(pos[j])
+			maxRange := cfg.ISLRangeKm
+			if sats[i].HasLaser && sats[j].HasLaser && cfg.LaserRangeKm > maxRange {
+				maxRange = cfg.LaserRangeKm
+			}
+			if d > maxRange || !geo.LineOfSight(pos[i], pos[j]) {
+				continue
+			}
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// bruteVisibleSats is the reference O(grounds×sats) attach scan.
+func bruteVisibleSats(cfg Config, ll geo.LatLon, pos []geo.Vec3) []int {
+	var out []int
+	for i := range pos {
+		if geo.ElevationDeg(ll, pos[i]) >= cfg.MinElevationDeg {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// filterFeasible reduces a candidate pair list to the exactly feasible
+// pairs, mirroring the builder's per-pair predicate.
+func filterFeasible(cfg Config, sats []SatSpec, pos []geo.Vec3, cands [][2]int) [][2]int {
+	var out [][2]int
+	for _, p := range cands {
+		i, j := p[0], p[1]
+		d := pos[i].DistanceKm(pos[j])
+		maxRange := cfg.ISLRangeKm
+		if sats[i].HasLaser && sats[j].HasLaser && cfg.LaserRangeKm > maxRange {
+			maxRange = cfg.LaserRangeKm
+		}
+		if d > maxRange || !geo.LineOfSight(pos[i], pos[j]) {
+			continue
+		}
+		out = append(out, [2]int{i, j})
+	}
+	return out
+}
+
+// randomSpecs builds n satellites on random circular orbits with mixed
+// altitudes, laser fits, and degree caps — the adversarial input class
+// for the index (no grid regularity to hide behind).
+func randomSpecs(n int, seed int64) []SatSpec {
+	rng := rand.New(rand.NewSource(seed))
+	specs := make([]SatSpec, n)
+	for i := range specs {
+		alt := 500 + rng.Float64()*800
+		incl := rng.Float64() * 180
+		specs[i] = SatSpec{
+			ID:       fmt.Sprintf("r%d-%d", seed, i),
+			Provider: providerName(i % 3),
+			Elements: orbit.Circular(alt, incl, rng.Float64()*360, rng.Float64()*360),
+			HasLaser: rng.Intn(2) == 0,
+			MaxISLs:  rng.Intn(5), // 0 = uncapped
+		}
+	}
+	return specs
+}
+
+// TestIndexCandidatesMatchBruteForce is the property test of the spatial
+// index: across constellation sizes, seeds, and timestamps, filtering the
+// index-pruned candidates must yield exactly the brute-force feasible
+// set, for both the ISL pair scan and the ground attach scan.
+func TestIndexCandidatesMatchBruteForce(t *testing.T) {
+	grounds := []geo.LatLon{
+		{Lat: 51.51, Lon: -0.13},
+		{Lat: -33.87, Lon: 151.21},
+		{Lat: 78.22, Lon: 15.63}, // high latitude stresses polar crowding
+		{Lat: 0.35, Lon: -78.52},
+	}
+	for _, n := range []int{3, 25, 80, 220} {
+		for _, seed := range []int64{1, 7, 42} {
+			for _, tS := range []float64{0, 137.5, 4000} {
+				specs := randomSpecs(n, seed)
+				cfg := DefaultConfig()
+				if seed%2 == 1 {
+					cfg.MinElevationDeg = 25
+				}
+				b := newBuilder(cfg, specs, nil, nil)
+				for i := range specs {
+					b.pos[i] = specs[i].Elements.PositionECEF(tS)
+				}
+				b.refreshWatch(tS)
+
+				want := bruteFeasibleISLs(cfg, specs, b.pos)
+				got := filterFeasible(cfg, specs, b.pos, b.watchISL)
+				if !pairSetsEqual(got, want) {
+					t.Fatalf("n=%d seed=%d t=%v: index feasible set %d pairs, brute force %d",
+						n, seed, tS, len(got), len(want))
+				}
+
+				ix := newSatIndex(b.pos, b.maxISLKm+b.skinISLKm)
+				for _, g := range grounds {
+					cand := ix.within(g.Vec3(0), b.attachKm+b.skinGroundKm, nil)
+					var vis []int
+					for _, i := range cand {
+						if geo.ElevationDeg(g, b.pos[i]) >= cfg.MinElevationDeg {
+							vis = append(vis, i)
+						}
+					}
+					if wantVis := bruteVisibleSats(cfg, g, b.pos); !intSetsEqual(vis, wantVis) {
+						t.Fatalf("n=%d seed=%d t=%v ground %v: index sees %d sats, brute force %d",
+							n, seed, tS, g, len(vis), len(wantVis))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildMatchesBruteForceSnapshot rebuilds full snapshots with a
+// reference implementation of the original all-pairs algorithm and
+// requires exact equality — the end-to-end form of the index property.
+func TestBuildMatchesBruteForceSnapshot(t *testing.T) {
+	for _, n := range []int{10, 60, 150} {
+		specs := randomSpecs(n, int64(n))
+		grounds := []GroundSpec{
+			{ID: "g0", Provider: "A", Pos: geo.LatLon{Lat: 51.51, Lon: -0.13}},
+			{ID: "g1", Provider: "B", Pos: geo.LatLon{Lat: -33.87, Lon: 151.21}},
+		}
+		users := []UserSpec{
+			{ID: "u0", Provider: "A", Pos: geo.LatLon{Lat: 40.71, Lon: -74.01}},
+		}
+		cfg := DefaultConfig()
+		got := Build(300, cfg, specs, grounds, users)
+		want := bruteForceBuild(300, cfg, specs, grounds, users)
+		assertSnapshotsEqual(t, fmt.Sprintf("n=%d", n), got, want)
+	}
+}
+
+// bruteForceBuild reimplements snapshot assembly with the original
+// quadratic scans, as the oracle for TestBuildMatchesBruteForceSnapshot.
+func bruteForceBuild(t float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) *Snapshot {
+	s := &Snapshot{TimeS: t, nodes: make(map[string]*Node), adj: make(map[string][]Edge)}
+	pos := make([]geo.Vec3, len(sats))
+	for i, sp := range sats {
+		pos[i] = sp.Elements.PositionECEF(t)
+		s.nodes[sp.ID] = &Node{ID: sp.ID, Kind: KindSatellite, Provider: sp.Provider, Pos: pos[i], HasLaser: sp.HasLaser}
+	}
+	for _, g := range grounds {
+		s.nodes[g.ID] = &Node{ID: g.ID, Kind: KindGroundStation, Provider: g.Provider, Pos: g.Pos.Vec3(0)}
+	}
+	for _, u := range users {
+		s.nodes[u.ID] = &Node{ID: u.ID, Kind: KindUser, Provider: u.Provider, Pos: u.Pos.Vec3(0)}
+	}
+	type pair struct {
+		i, j int
+		d    float64
+	}
+	var pairs []pair
+	for _, p := range bruteFeasibleISLs(cfg, sats, pos) {
+		pairs = append(pairs, pair{p[0], p[1], pos[p[0]].DistanceKm(pos[p[1]])})
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].d != pairs[b].d {
+			return pairs[a].d < pairs[b].d
+		}
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	degree := map[int]int{}
+	limit := func(i int) int {
+		if sats[i].MaxISLs <= 0 {
+			return int(^uint(0) >> 1)
+		}
+		return sats[i].MaxISLs
+	}
+	for _, p := range pairs {
+		if degree[p.i] >= limit(p.i) || degree[p.j] >= limit(p.j) {
+			continue
+		}
+		degree[p.i]++
+		degree[p.j]++
+		kind, capBps := LinkISLRF, cfg.RFISLBps
+		if sats[p.i].HasLaser && sats[p.j].HasLaser && p.d <= cfg.LaserRangeKm {
+			kind, capBps = LinkISLLaser, cfg.LaserISLBps
+		}
+		s.addBidirectional(sats[p.i].ID, sats[p.j].ID, kind, p.d, capBps,
+			sats[p.i].Provider != sats[p.j].Provider)
+	}
+	attach := func(id, provider string, ll geo.LatLon, kind LinkKind, capBps float64) {
+		gp := ll.Vec3(0)
+		for i, sat := range sats {
+			if geo.ElevationDeg(ll, pos[i]) < cfg.MinElevationDeg {
+				continue
+			}
+			s.addBidirectional(id, sat.ID, kind, gp.DistanceKm(pos[i]), capBps, provider != sat.Provider)
+		}
+	}
+	for _, g := range grounds {
+		attach(g.ID, g.Provider, g.Pos, LinkGround, cfg.GroundBps)
+	}
+	for _, u := range users {
+		attach(u.ID, u.Provider, u.Pos, LinkAccess, cfg.AccessBps)
+	}
+	for id := range s.adj {
+		es := s.adj[id]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return s
+}
+
+// assertSnapshotsEqual requires two snapshots to agree exactly: same
+// nodes (all fields), same adjacency lists (all edge fields, same order).
+func assertSnapshotsEqual(t *testing.T, label string, got, want *Snapshot) {
+	t.Helper()
+	if got.TimeS != want.TimeS {
+		t.Fatalf("%s: time %v != %v", label, got.TimeS, want.TimeS)
+	}
+	gids, wids := got.Nodes(), want.Nodes()
+	if len(gids) != len(wids) {
+		t.Fatalf("%s: %d nodes != %d", label, len(gids), len(wids))
+	}
+	for k, id := range gids {
+		if id != wids[k] {
+			t.Fatalf("%s: node %d: %q != %q", label, k, id, wids[k])
+		}
+		if gn, wn := *got.Node(id), *want.Node(id); gn != wn {
+			t.Fatalf("%s: node %q: %+v != %+v", label, id, gn, wn)
+		}
+		ge, we := got.Neighbors(id), want.Neighbors(id)
+		if len(ge) != len(we) {
+			t.Fatalf("%s: node %q: %d edges != %d", label, id, len(ge), len(we))
+		}
+		for x := range ge {
+			if ge[x] != we[x] {
+				t.Fatalf("%s: node %q edge %d: %+v != %+v", label, id, x, ge[x], we[x])
+			}
+		}
+	}
+	if got.EdgeCount() != want.EdgeCount() {
+		t.Fatalf("%s: %d edges != %d", label, got.EdgeCount(), want.EdgeCount())
+	}
+}
+
+func pairSetsEqual(a, b [][2]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p [2]int) [2]int {
+		if p[0] > p[1] {
+			return [2]int{p[1], p[0]}
+		}
+		return p
+	}
+	sa, sb := make([][2]int, len(a)), make([][2]int, len(b))
+	for i := range a {
+		sa[i], sb[i] = key(a[i]), key(b[i])
+	}
+	less := func(s [][2]int) func(i, j int) bool {
+		return func(i, j int) bool {
+			if s[i][0] != s[j][0] {
+				return s[i][0] < s[j][0]
+			}
+			return s[i][1] < s[j][1]
+		}
+	}
+	sort.Slice(sa, less(sa))
+	sort.Slice(sb, less(sb))
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intSetsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa, sb := append([]int(nil), a...), append([]int(nil), b...)
+	sort.Ints(sa)
+	sort.Ints(sb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}

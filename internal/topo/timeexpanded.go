@@ -16,11 +16,19 @@ type TimeExpanded struct {
 	Snaps     []*Snapshot
 }
 
+// timeExpandedBlock is how many consecutive snapshots share one
+// incremental builder. Within a block the builder's candidate lists carry
+// over between steps (delta updates); blocks are fixed-size and
+// independent, so the series is identical at any worker count and every
+// snapshot is byte-identical to a from-scratch Build at its timestamp.
+const timeExpandedBlock = 16
+
 // BuildTimeExpanded constructs snapshots at startS, startS+intervalS, …
-// covering [startS, startS+horizonS]. Each snapshot is an independent pure
-// function of its timestamp, so they are built in parallel on cfg.Workers
-// workers (one per CPU when ≤0) and collected in time order; the resulting
-// series is identical at any worker count.
+// covering [startS, startS+horizonS]. Steps are grouped into contiguous
+// blocks that run in parallel on cfg.Workers workers (one per CPU when
+// ≤0); within a block each snapshot is a delta update of its predecessor
+// rather than a full rebuild. Results are collected in time order and are
+// identical at any worker count.
 func BuildTimeExpanded(startS, horizonS, intervalS float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) (*TimeExpanded, error) {
 	if intervalS <= 0 {
 		return nil, fmt.Errorf("topo: interval %.1f must be positive", intervalS)
@@ -29,11 +37,26 @@ func BuildTimeExpanded(startS, horizonS, intervalS float64, cfg Config, sats []S
 		return nil, fmt.Errorf("topo: horizon %.1f must be non-negative", horizonS)
 	}
 	steps := int(horizonS/intervalS) + 1
-	snaps, err := exec.Map(cfg.Workers, steps, func(i int) (*Snapshot, error) {
-		return Build(startS+float64(i)*intervalS, cfg, sats, grounds, users), nil
+	blocks := (steps + timeExpandedBlock - 1) / timeExpandedBlock
+	blockSnaps, err := exec.Map(cfg.Workers, blocks, func(bi int) ([]*Snapshot, error) {
+		lo := bi * timeExpandedBlock
+		hi := lo + timeExpandedBlock
+		if hi > steps {
+			hi = steps
+		}
+		b := newBuilder(cfg, sats, grounds, users)
+		out := make([]*Snapshot, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, b.SnapshotAt(startS+float64(i)*intervalS))
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	snaps := make([]*Snapshot, 0, steps)
+	for _, bs := range blockSnaps {
+		snaps = append(snaps, bs...)
 	}
 	return &TimeExpanded{StartS: startS, IntervalS: intervalS, Snaps: snaps}, nil
 }

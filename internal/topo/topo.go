@@ -221,6 +221,15 @@ type Config struct {
 	// are pure functions of their timestamp and are collected in time
 	// order, so the series is identical at any worker count.
 	Workers int
+	// StaticISLs switches inter-satellite wiring from the geometric
+	// every-visible-pair rule to an explicit plan — e.g. the +Grid wiring
+	// of orbit.WalkerConfig.GridISLs — which is how mega-constellations
+	// actually fly and what keeps the link count linear in the fleet.
+	// Planned pairs are still feasibility-checked per snapshot (range and
+	// line of sight), so seam or polar links that stretch beyond reach
+	// drop out of that snapshot; pairs naming unknown satellites are
+	// ignored, and MaxISLs degree caps still apply.
+	StaticISLs []orbit.ISLPair
 }
 
 // DefaultConfig returns feasibility rules derived from the phy package's
@@ -243,121 +252,22 @@ func DefaultConfig() Config {
 
 // Build constructs the snapshot at time t.
 //
-// ISLs: every satellite pair with line of sight and within range gets a
-// link — laser when both ends carry terminals and are within laser range,
-// otherwise RF (the paper's "RF at a minimum, optionally laser" rule).
-// When a satellite has a MaxISLs power budget, its nearest neighbours are
-// kept — locally optimal for link quality, and deterministic. Ground and
-// access links attach by elevation mask.
+// ISLs: with no explicit plan, every satellite pair with line of sight
+// and within range gets a link — laser when both ends carry terminals and
+// are within laser range, otherwise RF (the paper's "RF at a minimum,
+// optionally laser" rule). When a satellite has a MaxISLs power budget,
+// its nearest neighbours are kept — locally optimal for link quality, and
+// deterministic. With cfg.StaticISLs set, only the planned pairs are
+// considered (mega-constellation +Grid wiring). Ground and access links
+// attach by elevation mask.
+//
+// Candidate pairs come from a spatial index over the ECEF positions
+// rather than an all-pairs scan, and every candidate is re-checked
+// against the exact feasibility predicates, so the snapshot is identical
+// to a brute-force build — the property test in spatial_test.go pins
+// this.
 func Build(t float64, cfg Config, sats []SatSpec, grounds []GroundSpec, users []UserSpec) *Snapshot {
-	s := &Snapshot{
-		TimeS: t,
-		nodes: make(map[string]*Node),
-		adj:   make(map[string][]Edge),
-	}
-	for _, sp := range sats {
-		s.nodes[sp.ID] = &Node{
-			ID: sp.ID, Kind: KindSatellite, Provider: sp.Provider,
-			Pos: sp.Elements.PositionECEF(t), HasLaser: sp.HasLaser,
-		}
-	}
-	for _, g := range grounds {
-		s.nodes[g.ID] = &Node{ID: g.ID, Kind: KindGroundStation, Provider: g.Provider, Pos: g.Pos.Vec3(0)}
-	}
-	for _, u := range users {
-		s.nodes[u.ID] = &Node{ID: u.ID, Kind: KindUser, Provider: u.Provider, Pos: u.Pos.Vec3(0)}
-	}
-
-	// Candidate ISLs per satellite, nearest first, respecting MaxISLs.
-	type cand struct {
-		j    int
-		dist float64
-	}
-	accepted := make(map[[2]int]bool)
-	degree := make(map[int]int)
-	limit := func(i int) int {
-		if sats[i].MaxISLs <= 0 {
-			return int(^uint(0) >> 1)
-		}
-		return sats[i].MaxISLs
-	}
-	pos := make([]geo.Vec3, len(sats))
-	for i := range sats {
-		pos[i] = s.nodes[sats[i].ID].Pos
-	}
-	// Gather all feasible pairs sorted by distance (shortest first), then
-	// accept greedily under degree caps — deterministic and symmetric.
-	var pairs []struct {
-		i, j int
-		d    float64
-	}
-	for i := 0; i < len(sats); i++ {
-		for j := i + 1; j < len(sats); j++ {
-			d := pos[i].DistanceKm(pos[j])
-			maxRange := cfg.ISLRangeKm
-			if sats[i].HasLaser && sats[j].HasLaser && cfg.LaserRangeKm > maxRange {
-				maxRange = cfg.LaserRangeKm
-			}
-			if d > maxRange || !geo.LineOfSight(pos[i], pos[j]) {
-				continue
-			}
-			pairs = append(pairs, struct {
-				i, j int
-				d    float64
-			}{i, j, d})
-		}
-	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].d != pairs[b].d { //lint:allow floateq exact sort tie-break keeps ISL pairing deterministic
-			return pairs[a].d < pairs[b].d
-		}
-		if pairs[a].i != pairs[b].i {
-			return pairs[a].i < pairs[b].i
-		}
-		return pairs[a].j < pairs[b].j
-	})
-	for _, p := range pairs {
-		if degree[p.i] >= limit(p.i) || degree[p.j] >= limit(p.j) {
-			continue
-		}
-		accepted[[2]int{p.i, p.j}] = true
-		degree[p.i]++
-		degree[p.j]++
-	}
-	for key := range accepted {
-		i, j := key[0], key[1]
-		d := pos[i].DistanceKm(pos[j])
-		kind, capBps := LinkISLRF, cfg.RFISLBps
-		if sats[i].HasLaser && sats[j].HasLaser && d <= cfg.LaserRangeKm {
-			kind, capBps = LinkISLLaser, cfg.LaserISLBps
-		}
-		s.addBidirectional(sats[i].ID, sats[j].ID, kind, d, capBps,
-			sats[i].Provider != sats[j].Provider)
-	}
-
-	// Ground-station and user access links.
-	attach := func(id, provider string, ll geo.LatLon, kind LinkKind, capBps float64) {
-		gp := ll.Vec3(0)
-		for i, sat := range sats {
-			if geo.ElevationDeg(ll, pos[i]) < cfg.MinElevationDeg {
-				continue
-			}
-			d := gp.DistanceKm(pos[i])
-			s.addBidirectional(id, sat.ID, kind, d, capBps, provider != sat.Provider)
-		}
-	}
-	for _, g := range grounds {
-		attach(g.ID, g.Provider, g.Pos, LinkGround, cfg.GroundBps)
-	}
-	for _, u := range users {
-		attach(u.ID, u.Provider, u.Pos, LinkAccess, cfg.AccessBps)
-	}
-	// Deterministic adjacency order.
-	for id := range s.adj {
-		es := s.adj[id]
-		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
-	}
-	return s
+	return newBuilder(cfg, sats, grounds, users).SnapshotAt(t)
 }
 
 func (s *Snapshot) addBidirectional(a, b string, kind LinkKind, distKm, capBps float64, cross bool) {

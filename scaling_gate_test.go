@@ -1,0 +1,67 @@
+package openspace
+
+// The CI scaling gate: an explicit check that snapshot construction stays
+// near-linear in constellation size. The spatial index in internal/topo
+// exists so mega-constellation sweeps (E14/E15 at N=4000) are tractable; a
+// regression back to the O(N²) pair scan would silently quadruple CI wall
+// time long before any correctness test noticed. This test times a +Grid
+// Walker-Delta snapshot at N=500 and N=2000 and fails when the wall-time
+// ratio exceeds a generous super-linear tolerance.
+//
+// The gate only runs with OPENSPACE_SCALING_GATE=1 (a dedicated CI job):
+// wall-clock assertions are inherently machine-sensitive and have no place
+// in the default `go test ./...` run.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/openspace-project/openspace/internal/topo"
+)
+
+// scalingGateRatioMax is the N=2000/N=500 wall-time ceiling. Perfectly
+// linear construction gives 4×; the O(N²) pair scan gives ~16×. 9× splits
+// the two with headroom for constant-factor noise on shared CI runners.
+const scalingGateRatioMax = 9.0
+
+// timeSnapshots measures the best-of-3 wall time of `reps` consecutive
+// snapshot builds at distinct epochs (so the incremental watch lists see
+// realistic churn rather than a cached fast path).
+func timeSnapshots(tb testing.TB, n, reps int) time.Duration {
+	tb.Helper()
+	cfg, specs, grounds, users := gridBuildInputs(tb, n)
+	best := time.Duration(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			snap := topo.Build(float64(i*15), cfg, specs, grounds, users)
+			if snap.NodeCount() < n {
+				tb.Fatalf("n=%d: snapshot lost nodes (%d)", n, snap.NodeCount())
+			}
+		}
+		if d := time.Since(start); attempt == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestScalingGateSnapshotBuild(t *testing.T) {
+	if os.Getenv("OPENSPACE_SCALING_GATE") != "1" {
+		t.Skip("set OPENSPACE_SCALING_GATE=1 to run the wall-time scaling gate")
+	}
+	const reps = 10
+	// Warm up allocator and caches once before the measured runs.
+	timeSnapshots(t, 500, 2)
+
+	small := timeSnapshots(t, 500, reps)
+	large := timeSnapshots(t, 2000, reps)
+	ratio := float64(large) / float64(small)
+	t.Logf("snapshot build: N=500 %v, N=2000 %v (%d reps, best of 3) — ratio %.2f (gate %.1f)",
+		small, large, reps, ratio, scalingGateRatioMax)
+	if ratio > scalingGateRatioMax {
+		t.Fatalf("super-linear scaling: 4× satellites cost %.2f× wall time (gate %.1f×); "+
+			"did the spatial index regress to a quadratic scan?", ratio, scalingGateRatioMax)
+	}
+}
