@@ -8,12 +8,14 @@ package openspace
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"testing"
 
 	"github.com/openspace-project/openspace/internal/experiments"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
+	"github.com/openspace-project/openspace/internal/sim"
 	"github.com/openspace-project/openspace/internal/topo"
 	"github.com/openspace-project/openspace/internal/traffic"
 )
@@ -261,7 +263,65 @@ func BenchmarkCriticalMass(b *testing.B) {
 	}
 }
 
+// BenchmarkFluidScenario regenerates a reduced E18 cell: one million
+// effective users evolved as (city-pair × class) aggregates over a +Grid
+// shell. The wall time here is what the per-flow engine would spend on
+// roughly 10⁴ users — the subsystem's whole point.
+func BenchmarkFluidScenario(b *testing.B) {
+	cfg := experiments.DefaultUsersScale()
+	cfg.Sats = 100
+	cfg.UserCounts = []int{1_000_000}
+	cfg.DurationS = 300
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.UsersScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Carried.Points) == 0 {
+			b.Fatal("no carried-capacity points")
+		}
+	}
+}
+
 // --- Micro-benchmarks on the hot substrate paths ---
+
+// BenchmarkEngineCalendarQueue measures the event kernel on a churn-heavy
+// schedule: a pre-seeded event population plus self-rescheduling ticks, the
+// access pattern the calendar queue's O(1) amortized insert/extract exists
+// for.
+func BenchmarkEngineCalendarQueue(b *testing.B) {
+	const events = 50_000
+	rng := rand.New(rand.NewSource(7))
+	times := make([]float64, events)
+	for i := range times {
+		times[i] = rng.Float64() * 3600
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		for _, at := range times {
+			if err := e.Schedule(at, func(*sim.Engine) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var tick func(*sim.Engine)
+		tick = func(e *sim.Engine) {
+			if next := e.Now() + 15; next < 3600 {
+				if err := e.Schedule(next, tick); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := e.Schedule(0, tick); err != nil {
+			b.Fatal(err)
+		}
+		e.Run(3600)
+		if e.Processed < events {
+			b.Fatalf("processed %d of %d events", e.Processed, events)
+		}
+	}
+}
 
 // BenchmarkPropagation measures two-body position computation, the inner
 // loop of every topology build.

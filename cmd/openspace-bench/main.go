@@ -184,6 +184,17 @@ var experimentTable = []entry{
 		cfg.Workers = workers
 		return experiments.Capacity(cfg)
 	}},
+	{"users-scale", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultUsersScale()
+		if quick {
+			// Two cells on a smaller +Grid — the CI determinism workload.
+			cfg.Sats = 128
+			cfg.UserCounts = []int{10_000, 1_000_000}
+			cfg.DurationS = 300
+		}
+		cfg.Workers = workers
+		return experiments.UsersScale(cfg)
+	}},
 	{"availability-scale", func(quick bool, workers int) (renderer, error) {
 		cfg := experiments.DefaultAvailabilityScale()
 		if quick {

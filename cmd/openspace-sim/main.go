@@ -7,6 +7,7 @@
 // Usage:
 //
 //	openspace-sim -providers 3 -users 12 -transfers 200 -duration 600
+//	openspace-sim -aggregate -users 1000000 -duration 600
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"github.com/openspace-project/openspace/internal/core"
 	"github.com/openspace-project/openspace/internal/economics"
 	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/fluid"
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/routing"
@@ -35,11 +37,24 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	workers := flag.Int("workers", 0, "parallel topology-snapshot workers (0 = one per CPU, 1 = serial); results are identical at any setting")
 	scenario := flag.Bool("scenario", false, "drive the workload through the discrete-event engine (Poisson arrivals, automatic handovers) instead of fixed transfer counts")
+	aggregate := flag.Bool("aggregate", false, "run in fluid-aggregation mode: -users is an effective population (millions are fine) bucketed into city-pair×class aggregates instead of per-user terminals")
 	capacity := flag.Bool("capacity", false, "print a traffic-engineering report (demand matrix, max-min fair allocation, bottleneck) instead of running transfers")
 	faultsMode := flag.Bool("faults", false, "inject deterministic faults (satellite failures, ISL flaps, weather, storms) and report per-flow availability, reroutes and scenario robustness")
 	intensity := flag.Float64("intensity", 1, "fault-rate multiplier for -faults (0 disables injection)")
 	flag.Parse()
 
+	if *aggregate {
+		var fcfg faults.Config
+		if *faultsMode {
+			fcfg = faults.Default().Scale(*intensity)
+			fcfg.Seed = *seed
+		}
+		if err := runAggregate(*providers, *users, *duration, *seed, *workers, fcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *faultsMode {
 		if err := runFaults(*providers, *users, *duration, *intensity, *seed, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
@@ -268,12 +283,11 @@ func runCapacity(providers, users int, seed int64, workers int) error {
 	return nil
 }
 
-// buildScenarioNetwork assembles the Iridium federation with one gateway
-// per provider and the city-weighted user population — the common setup of
-// the -scenario and -faults modes.
-func buildScenarioNetwork(providers, users int, seed int64, workers int) (*core.Network, error) {
-	if providers <= 0 || users <= 0 {
-		return nil, fmt.Errorf("providers and users must be positive")
+// buildFederation assembles the Iridium federation with one gateway per
+// provider and no users — the shared setup of the engine-driven modes.
+func buildFederation(providers int, seed int64, workers int) (*core.Network, error) {
+	if providers <= 0 {
+		return nil, fmt.Errorf("providers must be positive")
 	}
 	c, err := orbit.Iridium().Build()
 	if err != nil {
@@ -294,9 +308,18 @@ func buildScenarioNetwork(providers, users int, seed int64, workers int) (*core.
 			}},
 		}
 	}
-	net, err := core.NewNetwork(core.NetworkConfig{
+	return core.NewNetwork(core.NetworkConfig{
 		Providers: pcs, Seed: seed, Topo: topo.Config{Workers: workers},
 	})
+}
+
+// buildScenarioNetwork adds the city-weighted user population on top of
+// buildFederation — the setup of the -scenario and -faults modes.
+func buildScenarioNetwork(providers, users int, seed int64, workers int) (*core.Network, error) {
+	if users <= 0 {
+		return nil, fmt.Errorf("users must be positive")
+	}
+	net, err := buildFederation(providers, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +330,47 @@ func buildScenarioNetwork(providers, users int, seed int64, workers int) (*core.
 		}
 	}
 	return net, nil
+}
+
+// runAggregate drives the fluid-aggregation scenario: the population never
+// materialises as terminals, so -users can be millions without the event
+// count growing past O(epochs + fault transitions).
+func runAggregate(providers, users int, duration float64, seed int64, workers int, fcfg faults.Config) error {
+	if users <= 0 {
+		return fmt.Errorf("users must be positive")
+	}
+	net, err := buildFederation(providers, seed, workers)
+	if err != nil {
+		return err
+	}
+	res, err := net.RunScenario(core.Scenario{
+		DurationS:         duration,
+		SnapshotIntervalS: 60,
+		Seed:              seed,
+		Faults:            fcfg,
+		Aggregate:         fluid.Config{Users: users},
+	})
+	if err != nil {
+		return err
+	}
+	fr := res.Fluid
+	fmt.Printf("fluid scenario over %.0f s: %d effective users in %d epochs\n",
+		duration, users, fr.Epochs)
+	fmt.Printf("transfers: %d attempted, %d delivered (%.1f%%), %d local, %.2f GB\n",
+		fr.TransfersAttempted, fr.TransfersDelivered, fr.DeliveredFraction()*100,
+		fr.LocalTransfers, float64(fr.BytesDelivered)/1e9)
+	fmt.Printf("carried capacity: %.2f Gbps | latency ms: p50 %.1f p95 %.1f\n",
+		fr.CarriedBps()/1e9, fr.Latency.Quantile(0.5)*1000, fr.Latency.Quantile(0.95)*1000)
+	for _, cls := range fr.PerClass {
+		fmt.Printf("  class %-6s %d/%d delivered | p50 %.1f ms p95 %.1f ms\n",
+			cls.Name, cls.TransfersDelivered, cls.TransfersAttempted,
+			cls.Latency.Quantile(0.5)*1000, cls.Latency.Quantile(0.95)*1000)
+	}
+	fmt.Printf("retries %d | recovered %d | abandoned %d | pending %d\n",
+		fr.Retries, fr.Recovered, fr.Abandoned, fr.PendingTransfers)
+	fmt.Printf("faults: %d transitions | engine events processed: %d\n",
+		res.FaultEvents, res.EventsProcessed)
+	return nil
 }
 
 // runScenario drives the engine-based workload (core.RunScenario).

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/fluid"
+	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/traffic"
+)
+
+// runAggregateScenario is RunScenario's fluid-mode twin: instead of one
+// engine event per transfer, the class matrix evolves through the max-min
+// allocator once per snapshot interval. The engine still drives the run —
+// fault transitions from the same deterministic timeline interleave with
+// epoch ticks exactly as they do with per-flow traffic (at equal instants
+// failures land first, because the timeline schedules earlier) — but the
+// event count is O(epochs + fault transitions), independent of Users.
+func (n *Network) runAggregateScenario(sc Scenario) (*ScenarioResult, error) {
+	cfg := sc.Aggregate
+	if cfg.Seed == 0 {
+		cfg.Seed = sc.Seed
+	}
+	if err := n.BuildTopology(0, sc.DurationS, sc.SnapshotIntervalS); err != nil {
+		return nil, err
+	}
+	m, err := fluid.BuildClassMatrix(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Every ground station doubles as a candidate gateway, the same set
+	// SendBest ranks on the per-flow path.
+	var gws []traffic.Gateway
+	for _, g := range n.groundSpecs() {
+		gws = append(gws, traffic.Gateway{ID: g.ID, Pos: g.Pos})
+	}
+	ev, err := fluid.NewEvolver(m, cfg, gws)
+	if err != nil {
+		return nil, err
+	}
+
+	engine := sim.NewEngine()
+	res := &ScenarioResult{}
+	if sc.Faults.Enabled() {
+		tl, err := faults.Generate(sc.Faults, sc.DurationS, faults.InputsFromSnapshot(n.te.At(0)))
+		if err != nil {
+			return nil, err
+		}
+		mask := faults.NewMask()
+		onChange := func(*sim.Engine, faults.Event, bool) {
+			res.FaultEvents++
+			if err := n.ApplyFaultMask(mask); err != nil {
+				panic(err) // unreachable: topology was built above
+			}
+		}
+		if err := tl.Drive(engine, mask, onChange); err != nil {
+			return nil, err
+		}
+	}
+
+	// Epoch ticks: each advances the fluid model across [now, next) over
+	// the snapshot current at its start — including any fault overlay
+	// installed by transitions that fired before it.
+	var evolveErr error
+	epoch := 0
+	var tick func(*sim.Engine)
+	tick = func(e *sim.Engine) {
+		if evolveErr != nil {
+			return
+		}
+		t0 := e.Now()
+		t1 := t0 + sc.SnapshotIntervalS
+		if t1 > sc.DurationS {
+			t1 = sc.DurationS
+		}
+		snap := n.snapshotAt(t0)
+		if snap == nil {
+			evolveErr = errors.New("core: no topology snapshot for aggregate epoch")
+			return
+		}
+		if err := ev.Advance(snap, t0, t1, epoch); err != nil {
+			evolveErr = err
+			return
+		}
+		epoch++
+		if t1 < sc.DurationS {
+			if err := e.Schedule(t1, tick); err != nil {
+				panic(err) // unreachable: t1 > now ≥ 0 while the engine runs
+			}
+		}
+	}
+	if err := engine.Schedule(0, tick); err != nil {
+		return nil, err
+	}
+	engine.Run(sc.DurationS)
+	if evolveErr != nil {
+		return nil, fmt.Errorf("core: aggregate scenario: %w", evolveErr)
+	}
+
+	fr := ev.Result()
+	res.TransfersAttempted = int(fr.TransfersAttempted)
+	res.TransfersDelivered = int(fr.TransfersDelivered)
+	res.BytesDelivered = fr.BytesDelivered
+	res.Retries = int(fr.Retries)
+	res.RecoveredTransfers = int(fr.Recovered)
+	res.AbandonedTransfers = int(fr.Abandoned)
+	res.EventsProcessed = engine.Processed
+	res.Fluid = fr
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/fluid"
+)
+
+// aggregateScenario is a 5-epoch fluid run over the three-provider
+// Iridium federation. No users are added: fluid mode originates traffic
+// at world cities, not modelled terminals.
+func aggregateScenario(users int) Scenario {
+	return Scenario{
+		DurationS:         300,
+		SnapshotIntervalS: 60,
+		Seed:              9,
+		Aggregate:         fluid.Config{Users: users},
+	}
+}
+
+func TestScenarioValidateAggregate(t *testing.T) {
+	sc := aggregateScenario(1000)
+	// Per-flow workload knobs are deliberately zero: fluid mode must not
+	// require them.
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("aggregate scenario rejected: %v", err)
+	}
+	sc.DurationS = 0
+	if sc.Validate() == nil {
+		t.Error("zero duration must still be rejected in aggregate mode")
+	}
+}
+
+func TestRunScenarioAggregateMode(t *testing.T) {
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunScenario(aggregateScenario(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fluid == nil {
+		t.Fatal("aggregate run did not populate Fluid")
+	}
+	if res.TransfersAttempted == 0 {
+		t.Fatal("no transfers attempted")
+	}
+	if res.TransfersDelivered == 0 || res.BytesDelivered == 0 {
+		t.Fatalf("nothing delivered: %+v", res.Fluid)
+	}
+	if res.Fluid.Epochs != 5 {
+		t.Errorf("epochs = %d, want 5", res.Fluid.Epochs)
+	}
+	// The event count is the whole point: O(epochs), not O(transfers).
+	if res.EventsProcessed >= uint64(res.TransfersAttempted) {
+		t.Errorf("events %d not decoupled from transfers %d",
+			res.EventsProcessed, res.TransfersAttempted)
+	}
+	if res.Fluid.Latency.Count() == 0 {
+		t.Error("no latency mass in the sketch")
+	}
+	if res.LatencyS.Count() != 0 {
+		t.Error("per-flow histogram must stay empty in aggregate mode")
+	}
+	if res.CarriageUSD != 0 || res.GatewayUSD != 0 {
+		t.Error("aggregate mode models no economics; fees must stay 0")
+	}
+}
+
+func TestRunScenarioAggregateDeterministic(t *testing.T) {
+	run := func() *ScenarioResult {
+		n, err := NewNetwork(threeProviderConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunScenario(aggregateScenario(30_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TransfersAttempted != b.TransfersAttempted ||
+		a.TransfersDelivered != b.TransfersDelivered ||
+		a.BytesDelivered != b.BytesDelivered ||
+		a.Retries != b.Retries ||
+		a.AbandonedTransfers != b.AbandonedTransfers {
+		t.Fatalf("aggregate run not deterministic:\n%+v\n%+v", a, b)
+	}
+	for _, q := range []float64{0.5, 0.95} {
+		if a.Fluid.Latency.Quantile(q) != b.Fluid.Latency.Quantile(q) {
+			t.Fatalf("latency q%.2f diverged", q)
+		}
+	}
+}
+
+func TestRunScenarioAggregateWithFaults(t *testing.T) {
+	n, err := NewNetwork(threeProviderConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := aggregateScenario(50_000)
+	sc.DurationS = 600
+	sc.Faults = faults.Default().Scale(40)
+	res, err := n.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultEvents == 0 {
+		t.Fatal("aggressive fault config produced no transitions")
+	}
+	if res.TransfersDelivered == 0 {
+		t.Error("faulted constellation delivered nothing at all")
+	}
+}

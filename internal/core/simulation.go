@@ -8,6 +8,7 @@ import (
 
 	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/fluid"
 	"github.com/openspace-project/openspace/internal/routing"
 	"github.com/openspace-project/openspace/internal/sim"
 )
@@ -37,6 +38,15 @@ type Scenario struct {
 	// faults are active; the zero value means routing.DefaultBackoff().
 	// Ignored when Faults is disabled.
 	Retry routing.Backoff
+	// Aggregate switches the run to fluid mode: the user population in
+	// Aggregate.Users is bucketed into (city-pair × class) aggregates and
+	// evolved through the max-min allocator once per snapshot interval,
+	// instead of one engine event per transfer. The zero value keeps the
+	// per-flow path byte-identical to runs that predate this field.
+	// In fluid mode PerUserRate/MinBytes/MaxBytes and the network's users
+	// are unused (traffic originates at cities, not modelled terminals),
+	// and Aggregate.Seed falls back to Seed when zero.
+	Aggregate fluid.Config
 }
 
 // Validate reports whether the scenario is runnable.
@@ -47,11 +57,15 @@ func (s Scenario) Validate() error {
 	if s.SnapshotIntervalS <= 0 {
 		return errors.New("core: snapshot interval must be positive")
 	}
-	if s.PerUserRate <= 0 {
-		return errors.New("core: per-user rate must be positive")
-	}
-	if s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
-		return fmt.Errorf("core: transfer size bounds [%d,%d] invalid", s.MinBytes, s.MaxBytes)
+	if !s.Aggregate.Enabled() {
+		// Per-flow workload knobs; fluid mode derives its workload from
+		// the class matrix instead.
+		if s.PerUserRate <= 0 {
+			return errors.New("core: per-user rate must be positive")
+		}
+		if s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
+			return fmt.Errorf("core: transfer size bounds [%d,%d] invalid", s.MinBytes, s.MaxBytes)
+		}
 	}
 	if s.Faults.Enabled() {
 		if err := s.Faults.Validate(); err != nil {
@@ -79,6 +93,12 @@ type ScenarioResult struct {
 	Retries            int // transfer retry attempts scheduled
 	RecoveredTransfers int // transfers delivered after at least one retry
 	AbandonedTransfers int // transfers that exhausted the retry budget
+
+	// Fluid carries the aggregate-mode detail (per-class counters and
+	// bounded-memory latency sketches); nil on the per-flow path. In fluid
+	// mode LatencyS stays empty (latency lives in Fluid.Latency) and the
+	// economics counters stay 0 (aggregates carry no per-delivery pricing).
+	Fluid *fluid.Result
 }
 
 // DeliveryRate returns the delivered fraction.
@@ -98,6 +118,9 @@ func (r *ScenarioResult) DeliveryRate() float64 {
 func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if sc.Aggregate.Enabled() {
+		return n.runAggregateScenario(sc)
 	}
 	if len(n.users) == 0 {
 		return nil, errors.New("core: scenario needs at least one user")
@@ -246,7 +269,9 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 		}
 		next := now + sc.SnapshotIntervalS
 		if next < sc.DurationS {
-			e.Schedule(next, tick)
+			if err := e.Schedule(next, tick); err != nil {
+				panic(err) // unreachable: next > now ≥ 0 while the engine runs
+			}
 		}
 	}
 	if err := engine.Schedule(0, tick); err != nil {

@@ -1,0 +1,449 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/openspace-project/openspace/internal/exec"
+	"github.com/openspace-project/openspace/internal/sim"
+	"github.com/openspace-project/openspace/internal/topo"
+	"github.com/openspace-project/openspace/internal/traffic"
+)
+
+// Evolver advances a ClassMatrix through topology/fault epochs. Each
+// Advance call realises the epoch's Poisson arrivals per aggregate, pools
+// them with the backlog carried from earlier epochs, offers the pooled
+// bytes to traffic.MaxMinFair over the epoch's snapshot, and
+// de-aggregates the allocation into delivered/latency/retry counters.
+// The whole evolution is sequential and deterministic: identical inputs
+// give identical Results at any worker count.
+type Evolver struct {
+	m   *ClassMatrix
+	cfg Config
+	gws []traffic.Gateway
+
+	model traffic.CapacityModel
+	res   *Result
+
+	// Per-aggregate backlog: transfers that arrived but were not served,
+	// pooled across epochs. backlogAgeE is the age in epochs of the oldest
+	// pooled transfer — an approximation (FIFO service is assumed inside a
+	// pool), which is what bounds retry bookkeeping to O(aggregates).
+	backlogT    []int64
+	backlogB    []float64
+	backlogAgeE []int
+}
+
+// Result accumulates ScenarioResult-compatible counters across epochs.
+// "Transfers" below are transport attempts: transfers whose ingress and
+// egress gateway coincide never enter the space segment and are counted
+// in LocalTransfers only, mirroring DemandMatrix.LocalUsers.
+type Result struct {
+	Users    int
+	Epochs   int
+	HorizonS float64
+	// DarkEpochs counts epochs with no lit gateway at all — every arrival
+	// goes straight to backlog.
+	DarkEpochs int
+
+	TransfersAttempted int64
+	TransfersDelivered int64
+	LocalTransfers     int64
+	BytesDelivered     int64
+	// Retries counts transfer-epochs spent waiting in backlog: each
+	// unserved transfer re-offers once per subsequent epoch, the fluid
+	// analogue of core's per-flow retry events.
+	Retries int64
+	// Recovered counts backlogged transfers that a later epoch delivered.
+	Recovered int64
+	// Abandoned counts transfers dropped after MaxRetryEpochs epochs in
+	// backlog — the fluid analogue of exhausting the retry budget.
+	Abandoned int64
+	// PendingTransfers is the backlog remaining after the last epoch.
+	PendingTransfers int64
+
+	// Latency pools delivered-transfer latencies across all classes;
+	// PerClass splits the same counters by traffic class.
+	Latency  *sim.Sketch
+	PerClass []ClassResult
+
+	carriedBpsDt float64
+}
+
+// ClassResult is one traffic class's slice of the counters.
+type ClassResult struct {
+	Name               string
+	TransfersAttempted int64
+	TransfersDelivered int64
+	BytesDelivered     int64
+	Latency            *sim.Sketch
+}
+
+// CarriedBps is the time-averaged carried capacity over the horizon, 0
+// before any epoch.
+func (r *Result) CarriedBps() float64 {
+	if r.HorizonS <= 0 {
+		return 0
+	}
+	return r.carriedBpsDt / r.HorizonS
+}
+
+// DeliveredFraction is delivered/attempted transport transfers, 1 with no
+// attempts.
+func (r *Result) DeliveredFraction() float64 {
+	if r.TransfersAttempted == 0 {
+		return 1
+	}
+	return float64(r.TransfersDelivered) / float64(r.TransfersAttempted)
+}
+
+// NewEvolver prepares an evolution of m between the given gateways using
+// the standard capacity model.
+func NewEvolver(m *ClassMatrix, cfg Config, gws []traffic.Gateway) (*Evolver, error) {
+	cfg = cfg.withDefaults()
+	if m == nil || len(m.Aggregates) == 0 {
+		return nil, fmt.Errorf("fluid: empty class matrix")
+	}
+	if len(gws) == 0 {
+		return nil, fmt.Errorf("fluid: no gateways")
+	}
+	res := &Result{
+		Users:   m.Users,
+		Latency: mustSketch(cfg.SketchAlpha),
+	}
+	for _, cl := range m.Classes {
+		res.PerClass = append(res.PerClass, ClassResult{Name: cl.Name, Latency: mustSketch(cfg.SketchAlpha)})
+	}
+	return &Evolver{
+		m:           m,
+		cfg:         cfg,
+		gws:         gws,
+		model:       traffic.DefaultCapacityModel(),
+		res:         res,
+		backlogT:    make([]int64, len(m.Aggregates)),
+		backlogB:    make([]float64, len(m.Aggregates)),
+		backlogAgeE: make([]int, len(m.Aggregates)),
+	}, nil
+}
+
+func mustSketch(alpha float64) *sim.Sketch {
+	s, err := sim.NewSketch(alpha)
+	if err != nil {
+		panic(err) // unreachable: withDefaults guarantees alpha in range
+	}
+	return s
+}
+
+// demandKey groups aggregates that share a routed commodity.
+type demandKey struct {
+	src, dst string
+	class    int
+}
+
+// Advance evolves the matrix across one epoch [t0, t1) over the given
+// snapshot (fault overlays already applied by the caller). epoch indexes
+// the aggregate arrival streams and must be distinct per call.
+func (e *Evolver) Advance(snap *topo.Snapshot, t0, t1 float64, epoch int) error {
+	dt := t1 - t0
+	if dt <= 0 {
+		return fmt.Errorf("fluid: epoch [%.3f, %.3f) has non-positive span", t0, t1)
+	}
+
+	// Lit gateways: present in the snapshot with at least one live link.
+	// Fault masks that sever a gateway remove its edges in the overlay,
+	// which is exactly what re-routes its cities elsewhere.
+	var lit []traffic.Gateway
+	for _, g := range e.gws {
+		if snap.Node(g.ID) != nil && len(snap.Neighbors(g.ID)) > 0 {
+			lit = append(lit, g)
+		}
+	}
+	cityGW := make([]string, len(e.m.Cities))
+	for i, c := range e.m.Cities {
+		if len(lit) > 0 {
+			cityGW[i] = traffic.NearestGatewayID(lit, c.Pos)
+		}
+	}
+
+	// Realise this epoch's arrivals and pool them with the backlog. The
+	// pool is what gets offered; σ of it will be delivered.
+	poolT := make([]int64, len(e.m.Aggregates))
+	poolB := make([]float64, len(e.m.Aggregates))
+	oldT := make([]int64, len(e.m.Aggregates))
+	groups := make(map[demandKey]*demandGroup)
+	for k := range e.m.Aggregates {
+		a := &e.m.Aggregates[k]
+		arrivals := poisson(exec.RNG(a.Seed, int64(epoch)), a.LambdaPerS*dt)
+		cls := &e.res.PerClass[a.Class]
+		src, dst := cityGW[a.Src], cityGW[a.Dst]
+		if len(lit) > 0 && src == dst {
+			// Never enters the space segment; excluded like LocalUsers.
+			e.res.LocalTransfers += arrivals
+			if e.backlogT[k] > 0 {
+				// Backlog from epochs when the endpoints mapped to
+				// different gateways drains trivially once they coincide;
+				// it adds no transport latency.
+				e.res.TransfersDelivered += e.backlogT[k]
+				cls.TransfersDelivered += e.backlogT[k]
+				delivered := int64(e.backlogB[k] + 0.5)
+				e.res.BytesDelivered += delivered
+				cls.BytesDelivered += delivered
+				e.res.Recovered += e.backlogT[k]
+				e.backlogT[k], e.backlogB[k], e.backlogAgeE[k] = 0, 0, 0
+			}
+			continue
+		}
+		e.res.TransfersAttempted += arrivals
+		cls.TransfersAttempted += arrivals
+		oldT[k] = e.backlogT[k]
+		poolT[k] = e.backlogT[k] + arrivals
+		poolB[k] = e.backlogB[k] + float64(arrivals)*a.MeanBytes
+		if poolT[k] == 0 || len(lit) == 0 {
+			continue
+		}
+		key := demandKey{src: src, dst: dst, class: a.Class}
+		g := groups[key]
+		if g == nil {
+			g = &demandGroup{}
+			groups[key] = g
+		}
+		g.offeredBps += poolB[k] * 8 / dt
+		g.members = append(g.members, k)
+	}
+
+	if len(lit) == 0 {
+		e.res.DarkEpochs++
+		e.carryBacklog(poolT, poolB, oldT, nil, 0)
+		e.res.Epochs++
+		e.res.HorizonS += dt
+		return nil
+	}
+
+	// One max-min fair pass per epoch: commodities in sorted key order so
+	// the allocator (deterministic in input order) sees a canonical input.
+	keys := make([]demandKey, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].src != keys[b].src {
+			return keys[a].src < keys[b].src
+		}
+		if keys[a].dst != keys[b].dst {
+			return keys[a].dst < keys[b].dst
+		}
+		return keys[a].class < keys[b].class
+	})
+	demands := make([]traffic.Demand, len(keys))
+	for i, key := range keys {
+		demands[i] = traffic.Demand{Src: key.src, Dst: key.dst, OfferedBps: groups[key].offeredBps}
+	}
+	net := traffic.NewNetwork(snap)
+	net.Recapacitate(e.model)
+	alloc, err := traffic.MaxMinFair(net, demands, traffic.AllocConfig{KPaths: e.cfg.KPaths})
+	if err != nil {
+		return fmt.Errorf("fluid: epoch %d allocation: %w", epoch, err)
+	}
+
+	served := make([]float64, len(e.m.Aggregates)) // per-aggregate σ
+	delay := make([]pathDelay, len(e.m.Aggregates))
+	for i, da := range alloc.Demands {
+		sigma := 0.0
+		if da.Path != nil && da.OfferedBps > 0 {
+			sigma = da.RateBps / da.OfferedBps
+		}
+		pd := pathDelayOf(snap, net, alloc, da.Path, dt)
+		for _, k := range groups[keys[i]].members {
+			served[k] = sigma
+			delay[k] = pd
+		}
+	}
+	e.carryBacklog(poolT, poolB, oldT, served, dt)
+	e.deaggregate(poolT, poolB, oldT, served, delay, dt)
+
+	e.res.carriedBpsDt += alloc.CarriedBps() * dt
+	e.res.Epochs++
+	e.res.HorizonS += dt
+	return nil
+}
+
+type demandGroup struct {
+	offeredBps float64
+	members    []int
+}
+
+// pathDelay caches the latency ingredients of one routed path.
+type pathDelay struct {
+	propS  float64
+	hops   int
+	bpsEff float64 // bottleneck capacity deflated by residual utilisation
+	capped float64 // transmission-time ceiling (the epoch span)
+	routed bool
+}
+
+// pathDelayOf extracts propagation, hop count and effective bottleneck
+// bandwidth for a routed path. The effective bandwidth deflates the
+// bottleneck capacity by the residual (1 − ρ) with ρ capped at 0.99 — the
+// standard fluid heuristic for queueing inflation near saturation.
+func pathDelayOf(snap *topo.Snapshot, net *traffic.Network, alloc *traffic.Allocation, path []string, dt float64) pathDelay {
+	if len(path) < 2 {
+		return pathDelay{}
+	}
+	pd := pathDelay{routed: true, capped: dt}
+	bottleneck := math.Inf(1)
+	maxU := 0.0
+	for h := 0; h+1 < len(path); h++ {
+		if edge, ok := snap.Edge(path[h], path[h+1]); ok {
+			pd.propS += edge.DelayS
+		}
+		if c := net.CapacityBps(path[h], path[h+1]); c < bottleneck {
+			bottleneck = c
+		}
+		if u := alloc.Utilization(path[h], path[h+1]); u > maxU {
+			maxU = u
+		}
+	}
+	pd.hops = len(path) - 1
+	if math.IsInf(bottleneck, 1) || bottleneck <= 0 {
+		pd.routed = false
+		return pd
+	}
+	if maxU > 0.99 {
+		maxU = 0.99
+	}
+	pd.bpsEff = bottleneck * (1 - maxU)
+	return pd
+}
+
+// carryBacklog settles each aggregate's pool: the served fraction leaves,
+// the rest ages in backlog, and backlog older than the retry budget is
+// abandoned. served == nil means a dark epoch (σ = 0 everywhere).
+func (e *Evolver) carryBacklog(poolT []int64, poolB []float64, oldT []int64, served []float64, dt float64) {
+	for k := range e.m.Aggregates {
+		sigma := 0.0
+		if served != nil {
+			sigma = served[k]
+		}
+		deliveredT := int64(math.Floor(sigma*float64(poolT[k]) + 0.5))
+		if deliveredT > poolT[k] {
+			deliveredT = poolT[k]
+		}
+		remainT := poolT[k] - deliveredT
+		remainB := poolB[k] * (1 - sigma)
+		if remainT == 0 {
+			e.backlogT[k], e.backlogB[k], e.backlogAgeE[k] = 0, 0, 0
+			continue
+		}
+		// FIFO within the pool: delivery drains the oldest transfers, so
+		// the survivors' age is the old age + 1 if any old transfer
+		// remains, else 1 (only this epoch's arrivals wait).
+		age := 1
+		if oldT[k] > deliveredT {
+			age = e.backlogAgeE[k] + 1
+		}
+		if age > e.cfg.MaxRetryEpochs {
+			e.res.Abandoned += remainT
+			e.backlogT[k], e.backlogB[k], e.backlogAgeE[k] = 0, 0, 0
+			continue
+		}
+		// Surviving transfers re-offer next epoch: one retry each.
+		e.res.Retries += remainT
+		e.backlogT[k], e.backlogB[k], e.backlogAgeE[k] = remainT, remainB, age
+	}
+	e.res.PendingTransfers = 0
+	for _, t := range e.backlogT {
+		e.res.PendingTransfers += t
+	}
+}
+
+// deaggregate turns each aggregate's served share back into transfer
+// counters and latency mass. Latency for a transfer of size s is
+// propagation + per-hop processing + s·8/effective-bandwidth (capped at
+// the epoch span); sizes are sampled at the class distribution's decile
+// midpoints, so an aggregate's delivered count spreads over ten analytic
+// quantiles instead of materialising per-transfer samples.
+func (e *Evolver) deaggregate(poolT []int64, poolB []float64, oldT []int64, served []float64, delay []pathDelay, dt float64) {
+	for k := range e.m.Aggregates {
+		a := &e.m.Aggregates[k]
+		sigma := served[k]
+		deliveredT := int64(math.Floor(sigma*float64(poolT[k]) + 0.5))
+		if deliveredT > poolT[k] {
+			deliveredT = poolT[k]
+		}
+		if deliveredT == 0 {
+			continue
+		}
+		deliveredB := int64(sigma*poolB[k] + 0.5)
+		cls := &e.res.PerClass[a.Class]
+		e.res.TransfersDelivered += deliveredT
+		cls.TransfersDelivered += deliveredT
+		e.res.BytesDelivered += deliveredB
+		cls.BytesDelivered += deliveredB
+		if rec := min64(deliveredT, oldT[k]); rec > 0 {
+			e.res.Recovered += rec
+		}
+		pd := delay[k]
+		if !pd.routed || pd.bpsEff <= 0 {
+			continue
+		}
+		base := pd.propS + float64(pd.hops)*e.cfg.PerHopS
+		per, rem := uint64(deliveredT)/10, uint64(deliveredT)%10
+		for d := 0; d < 10; d++ {
+			w := per
+			if d == 5 {
+				w += rem // remainder mass sits at the median decile
+			}
+			if w == 0 {
+				continue
+			}
+			size := e.m.Classes[a.Class].QuantileBytes((float64(d) + 0.5) / 10)
+			tx := size * 8 / pd.bpsEff
+			if tx > pd.capped {
+				tx = pd.capped
+			}
+			lat := base + tx
+			e.res.Latency.AddN(lat, w)
+			cls.Latency.AddN(lat, w)
+		}
+	}
+}
+
+// Result returns the accumulated counters. The pointer stays live across
+// further Advance calls.
+func (e *Evolver) Result() *Result { return e.res }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// poisson draws a Poisson variate with the given mean: Knuth's product
+// method for small means, a rounded normal approximation for large ones
+// (exact sampling there would cost O(mean) multiplies per aggregate).
+// Both branches consume the rng deterministically.
+func poisson(rng *rand.Rand, mean float64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 64 {
+		limit := math.Exp(-mean)
+		k := int64(0)
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	v := math.Round(mean + math.Sqrt(mean)*rng.NormFloat64())
+	if v < 0 {
+		v = 0
+	}
+	return int64(v)
+}

@@ -12,15 +12,27 @@ import (
 // *bytes.Buffer and *strings.Builder are exempt (their writers are
 // documented never to fail); anything else needs a check or a justified
 // //lint:allow errdrop.
+//
+// The same treatment covers the discrete-event scheduler surface: a
+// discarded error from a Schedule/After-shaped method means an event
+// silently never fires — the run still completes and emits a plausible
+// CSV, minus a whole tick's worth of work.
 func errdropAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "errdrop",
-		Doc:  "flag discarded errors from Write/Flush/Close on writers",
+		Doc:  "flag discarded errors from Write/Flush/Close on writers and Schedule/After on schedulers",
 	}
 	a.Run = func(p *Pass) {
 		report := func(call *ast.CallExpr, deferred bool) {
 			fn, recvT := calledMethod(p, call)
-			if fn == nil || !isWriterErrMethod(fn, recvT) {
+			if fn == nil {
+				return
+			}
+			if isSchedulerErrMethod(fn) {
+				p.Report(call, "error from %s is discarded; a failed schedule means the event silently never fires (check it, or panic on a provably unreachable path)", fn.Name())
+				return
+			}
+			if !isWriterErrMethod(fn, recvT) {
 				return
 			}
 			if deferred {
@@ -120,6 +132,21 @@ func isIOWriterShape(sig *types.Signature) bool {
 		return false
 	}
 	return isBasic(sig.Results().At(0).Type(), types.Int) && isErrorType(sig.Results().At(1).Type())
+}
+
+// isSchedulerErrMethod matches methods named Schedule or After taking at
+// least one parameter and returning exactly one error — the shape of
+// sim.Engine's event scheduling. Unlike the writer rules it keys on the
+// signature alone: any scheduler lookalike that can refuse an event must
+// not have that refusal ignored.
+func isSchedulerErrMethod(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Schedule", "After":
+	default:
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() > 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type())
 }
 
 func returnsOnlyError(sig *types.Signature) bool {

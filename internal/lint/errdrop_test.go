@@ -12,6 +12,14 @@ type Reader struct{}
 func (Reader) Close() error { return nil }
 `
 
+// engineSrc is a scheduler fixture with sim.Engine's Schedule/After shape.
+const engineSrc = `
+type Engine struct{}
+func (*Engine) Schedule(atS float64, fn func()) error { return nil }
+func (*Engine) After(delayS float64, fn func()) error { return nil }
+func (*Engine) Now() float64                          { return 0 }
+`
+
 func TestErrdrop(t *testing.T) {
 	ed := analyzerByName(t, "errdrop")
 	pkg := Module + "/internal/fixture"
@@ -49,6 +57,36 @@ import "io"
 func Emit(w io.WriteCloser, p []byte) {
 	w.Write(p) // want "errdrop: error from Write is discarded"
 	defer w.Close() // want "errdrop: deferred Close discards its error"
+}
+`}}},
+		{"schedule_discarded_flagged", []fixturePkg{{pkg, `package fixture
+` + engineSrc + `
+func Tick(e *Engine) {
+	e.Schedule(1, func() {}) // want "errdrop: error from Schedule is discarded"
+}
+`}}},
+		{"after_discarded_flagged", []fixturePkg{{pkg, `package fixture
+` + engineSrc + `
+func Retry(e *Engine) {
+	e.After(0.5, func() {}) // want "errdrop: error from After is discarded"
+}
+`}}},
+		{"schedule_checked_clean", []fixturePkg{{pkg, `package fixture
+` + engineSrc + `
+func Tick(e *Engine) error {
+	if err := e.Schedule(1, func() {}); err != nil {
+		return err
+	}
+	return e.After(0.5, func() {})
+}
+`}}},
+		{"schedule_shape_mismatch_clean", []fixturePkg{{pkg, `package fixture
+// Same names, different shapes: not schedulers, must stay clean.
+type Planner struct{}
+func (Planner) Schedule() error             { return nil }
+func (Planner) After(d float64) (int, bool) { return 0, false }
+func Plan(p Planner) {
+	p.After(1)
 }
 `}}},
 		{"checked_clean", []fixturePkg{{pkg, `package fixture

@@ -71,6 +71,7 @@ func TestMainOnFixturePackages(t *testing.T) {
 		}},
 		{"./testdata/src/errdrop_bad", 1, []string{
 			"errdrop_bad.go", "error from Write is discarded", "deferred Close discards",
+			"error from Schedule is discarded",
 		}},
 		{"./testdata/src/floateq_bad", 1, []string{
 			"floateq_bad.go", "exact floating-point == comparison",

@@ -19,3 +19,16 @@ func EmitAll(wc io.WriteCloser, rows [][]byte) {
 		}
 	}
 }
+
+// Engine mimics the discrete-event scheduler shape.
+type Engine struct{}
+
+// Schedule enqueues an event.
+func (*Engine) Schedule(atS float64, fn func()) error { return nil }
+
+// Tick replicates the dropped-error self-rescheduling pattern: the tick
+// chain silently ends if Schedule refuses, and the rest of the run has no
+// handover maintenance.
+func Tick(e *Engine, next float64) {
+	e.Schedule(next, func() {})
+}

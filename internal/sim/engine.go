@@ -1,12 +1,12 @@
 // Package sim provides the discrete-event simulation substrate for
 // OpenSpace experiments: a deterministic event engine, metric accumulators
-// (histograms/percentiles), and the workload generators that stand in for
-// the user populations and traffic patterns the paper's §5(1) notes would
-// require "extensive simulation tools not explored in this paper".
+// (histograms/percentiles and bounded-memory sketches), and the workload
+// generators that stand in for the user populations and traffic patterns
+// the paper's §5(1) notes would require "extensive simulation tools not
+// explored in this paper".
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -18,39 +18,22 @@ type event struct {
 	fn  func(*Engine)
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].atS != h[j].atS { //lint:allow floateq exact heap tie broken by seq keeps event order deterministic
-		return h[i].atS < h[j].atS
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a single-threaded discrete-event simulator. Events scheduled
 // for the same instant run in scheduling order, so simulations are fully
-// deterministic.
+// deterministic. The queue is a calendar queue — O(1) amortized schedule
+// and dispatch — whose dequeue order is byte-identical to the binary heap
+// it replaced (see calqueue.go for the contract and its property tests).
 type Engine struct {
 	now     float64
 	seq     uint64
-	events  eventHeap
+	events  calQueue
 	stopped bool
 	// Processed counts delivered events, for loop-guard assertions.
 	Processed uint64
 }
 
 // NewEngine returns an engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{events: newCalQueue()} }
 
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -64,7 +47,7 @@ func (e *Engine) Schedule(atS float64, fn func(*Engine)) error {
 	if atS < e.now {
 		return fmt.Errorf("sim: schedule at %.3f is before now %.3f", atS, e.now)
 	}
-	heap.Push(&e.events, event{atS: atS, seq: e.seq, fn: fn})
+	e.events.push(event{atS: atS, seq: e.seq, fn: fn})
 	e.seq++
 	return nil
 }
@@ -86,12 +69,12 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(untilS float64) {
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {
-		next := e.events[0]
+		next, _ := e.events.peek()
 		if next.atS > untilS {
 			e.now = untilS
 			return
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		e.now = next.atS
 		e.Processed++
 		next.fn(e)

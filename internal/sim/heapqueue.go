@@ -1,0 +1,26 @@
+package sim
+
+// eventHeap is the engine's original binary-heap event queue, retained as
+// the reference implementation: the calendar queue (calqueue.go) must
+// dequeue in exactly this heap's (atS, seq) order, and the property tests
+// in calqueue_test.go replay random schedules through both structures and
+// require identical sequences. It is not used by the engine itself.
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].atS != h[j].atS { //lint:allow floateq exact heap tie broken by seq keeps event order deterministic
+		return h[i].atS < h[j].atS
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -9,6 +9,13 @@ import (
 // Histogram accumulates float64 samples and answers summary queries.
 // The zero value is ready to use. Not safe for concurrent use (the engine
 // is single-threaded).
+//
+// Zero-count contract: with no samples, Mean, Min, Max, Quantile and
+// Stddev all return exactly 0 — never NaN or an implicit 0/0 — so an
+// empty accumulator (an idle traffic class, a dark constellation cell)
+// serializes as zeros in CSVs rather than poisoning them. Sketch honours
+// the same contract. Callers that must distinguish "no samples" from
+// "samples of value 0" check Count.
 type Histogram struct {
 	samples []float64
 	sorted  bool

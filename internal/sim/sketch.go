@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sketch is a bounded-memory streaming quantile estimator: a log-bucketed
+// histogram in the DDSketch family. Values land in geometric buckets
+// (growth factor γ = (1+α)/(1−α) for relative accuracy α), so any
+// quantile is answered to within relative error α from a bucket count
+// that depends only on the value range — never on the sample count.
+// Histogram retains every sample exactly; Sketch is what fluid-mode runs
+// with 10⁷ effective transfers use instead, at a few hundred buckets.
+//
+// AddN records a whole weighted batch in O(1), which is how the fluid
+// subsystem de-aggregates a class's analytic latency distribution without
+// materializing per-transfer samples.
+//
+// Zero-count contract (same as Histogram): with no recorded weight,
+// Count, Sum, Mean, Min, Max and Quantile all return 0 — never NaN — so
+// empty traffic classes serialize as zeros in CSVs.
+//
+// Determinism: bucket counts live in a map, but every query iterates
+// buckets in sorted index order, so results are independent of map
+// iteration order. Not safe for concurrent use.
+type Sketch struct {
+	gamma    float64
+	logGamma float64
+	counts   map[int]uint64
+	zero     uint64 // weight of values ≤ 0 (reported as exactly 0)
+	total    uint64
+	sum      float64
+	min, max float64
+}
+
+// NewSketch returns a sketch with the given relative accuracy α in
+// (0, 1); 0.01 means quantiles within 1 % of the true value.
+func NewSketch(alpha float64) (*Sketch, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, fmt.Errorf("sim: sketch accuracy %.3g outside (0,1)", alpha)
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{gamma: gamma, logGamma: math.Log(gamma), counts: make(map[int]uint64)}, nil
+}
+
+// DefaultSketch returns a 1 %-accuracy sketch.
+func DefaultSketch() *Sketch {
+	s, err := NewSketch(0.01)
+	if err != nil {
+		panic(err) // unreachable: 0.01 is in range
+	}
+	return s
+}
+
+// Add records one sample.
+func (s *Sketch) Add(v float64) { s.AddN(v, 1) }
+
+// AddN records n samples of value v in O(1). NaN values are ignored;
+// values ≤ 0 are counted but reported as exactly 0 (latencies and byte
+// counts are non-negative).
+func (s *Sketch) AddN(v float64, n uint64) {
+	if n == 0 || math.IsNaN(v) {
+		return
+	}
+	if s.total == 0 || v < s.min {
+		s.min = v
+	}
+	if s.total == 0 || v > s.max {
+		s.max = v
+	}
+	s.total += n
+	s.sum += v * float64(n)
+	if v <= 0 {
+		s.zero += n
+		return
+	}
+	s.counts[s.bucket(v)] += n
+}
+
+// bucket maps a positive value to its geometric bucket index.
+func (s *Sketch) bucket(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logGamma))
+}
+
+// value returns the representative value of a bucket: the geometric
+// midpoint 2γⁱ/(γ+1), within relative error α of everything in the bucket.
+func (s *Sketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Count returns the total recorded weight.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Buckets returns the number of occupied buckets — the memory footprint.
+func (s *Sketch) Buckets() int { return len(s.counts) }
+
+// Sum returns the exact sum of recorded values, 0 with no samples.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the exact arithmetic mean, 0 with no samples.
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.sum / float64(s.total)
+}
+
+// Min returns the smallest recorded value (exact), 0 with no samples.
+func (s *Sketch) Min() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest recorded value (exact), 0 with no samples.
+func (s *Sketch) Max() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest rank over bucket
+// representatives, matching Histogram.Quantile's rank convention; 0 with
+// no samples.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	idxs := make([]int, 0, len(s.counts))
+	for i := range s.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	cum := s.zero
+	for _, i := range idxs {
+		cum += s.counts[i]
+		if cum >= rank {
+			return s.value(i)
+		}
+	}
+	return s.max // float slack: the last occupied bucket answers
+}
+
+// Merge folds o into s. The two sketches must share the same accuracy.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if s.gamma != o.gamma { //lint:allow floateq sketches are mergeable only at the identical accuracy they were built with
+		return fmt.Errorf("sim: merging sketches with different accuracy (γ %.6g vs %.6g)", s.gamma, o.gamma)
+	}
+	if s.total == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.total == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.total += o.total
+	s.sum += o.sum
+	s.zero += o.zero
+	for i, n := range o.counts {
+		s.counts[i] += n
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (s *Sketch) String() string {
+	return fmt.Sprintf("sketch{n=%d mean=%.4g p50=%.4g p95=%.4g max=%.4g buckets=%d}",
+		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Max(), s.Buckets())
+}

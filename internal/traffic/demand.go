@@ -148,6 +148,12 @@ func BuildDemandMatrix(gws []Gateway, sats []orbit.Satellite, users []geo.LatLon
 	return m, nil
 }
 
+// NearestGatewayID returns the ID of the gateway closest to p on the
+// surface, with nearestGateway's deterministic tie-break. The fluid
+// aggregation layer uses it to map traffic-source cities onto lit
+// gateways each epoch.
+func NearestGatewayID(gws []Gateway, p geo.LatLon) string { return nearestGateway(gws, p) }
+
 // nearestGateway returns the ID of the gateway closest to p on the surface,
 // breaking distance ties by ID for determinism.
 func nearestGateway(gws []Gateway, p geo.LatLon) string {

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/openspace-project/openspace/internal/experiments"
 	"github.com/openspace-project/openspace/internal/topo"
 )
 
@@ -45,6 +46,51 @@ func timeSnapshots(tb testing.TB, n, reps int) time.Duration {
 		}
 	}
 	return best
+}
+
+// usersScaleGateRatioMax bounds the wall-time growth of an E18 cell when
+// the effective population grows 1000×. The fluid model's work is
+// O(aggregates × epochs), independent of Users: a perfectly flat profile
+// gives 1×, a per-flow engine would give ~1000×. 5× leaves room for the
+// larger Poisson means and CI-runner noise while still failing hard if
+// anything reintroduces per-user work.
+const usersScaleGateRatioMax = 5.0
+
+// TestScalingGateUsersScale is the E18 sublinearity gate: serving 10⁷
+// users must cost the same order of wall time as serving 10⁴, because the
+// aggregation layer never materialises per-user events. Each cell's wall
+// time is measured inside the harness (topology construction excluded, so
+// the ratio isolates the fluid evolution).
+func TestScalingGateUsersScale(t *testing.T) {
+	if os.Getenv("OPENSPACE_SCALING_GATE") != "1" {
+		t.Skip("set OPENSPACE_SCALING_GATE=1 to run the wall-time scaling gate")
+	}
+	cfg := experiments.DefaultUsersScale()
+	cfg.Sats = 200
+	cfg.UserCounts = []int{10_000, 10_000_000}
+	cfg.DurationS = 300
+	cfg.Workers = 1 // serial: the two cells must not contend for cores
+	best := 0.0
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := experiments.UsersScale(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, large := r.WallS(10_000), r.WallS(10_000_000)
+		if small <= 0 || large <= 0 {
+			t.Fatalf("missing wall-time measurements: %v, %v", small, large)
+		}
+		ratio := large / small
+		t.Logf("users-scale attempt %d: 10⁴ users %.3f s, 10⁷ users %.3f s — ratio %.2f (gate %.1f)",
+			attempt, small, large, ratio, usersScaleGateRatioMax)
+		if attempt == 0 || ratio < best {
+			best = ratio
+		}
+	}
+	if best > usersScaleGateRatioMax {
+		t.Fatalf("super-linear user scaling: 1000× users cost %.2f× wall time (gate %.1f×); "+
+			"did per-user work leak back into the fluid path?", best, usersScaleGateRatioMax)
+	}
 }
 
 func TestScalingGateSnapshotBuild(t *testing.T) {
