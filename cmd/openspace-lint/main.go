@@ -4,9 +4,11 @@
 //
 //	go run ./cmd/openspace-lint ./...
 //
-// Findings print as file:line:col: analyzer: message. Intentional
-// exceptions are annotated at the site with //lint:allow <analyzer>
-// <reason>. Exit codes: 0 clean, 1 findings, 2 load/type-check failure.
+// Findings print as file:line:col: analyzer: message, or as one JSON
+// object per line with -json (file, line, col, analyzer, message — the
+// format CI uploads as an artifact). Intentional exceptions are annotated
+// at the site with //lint:allow <analyzer> <reason>. Exit codes: 0 clean,
+// 1 findings, 2 load/type-check failure.
 package main
 
 import (
@@ -18,12 +20,15 @@ import (
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: openspace-lint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: openspace-lint [-json] [packages]\n\nFlags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
-	os.Exit(lint.Main(".", flag.Args(), os.Stdout, os.Stderr))
+	os.Exit(lint.Run(".", flag.Args(), *jsonOut, os.Stdout, os.Stderr))
 }

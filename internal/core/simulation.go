@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"github.com/openspace-project/openspace/internal/exec"
@@ -143,7 +142,7 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(exec.Seed(sc.Seed, rngDomainScenario)))
+	rng := exec.DomainRNG(sc.Seed, domainScenario)
 	engine := sim.NewEngine()
 	res := &ScenarioResult{}
 

@@ -93,6 +93,64 @@ func TestRNGWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestDomainSeedEquivalence pins the stream-preservation property the
+// Domain migration rests on: DomainSeed(base, Domain{_, id}, coords...)
+// must equal Seed(base, id, coords...) exactly, so a package adopting a
+// string tag for a stream that already had a numeric domain changes no
+// committed result.
+func TestDomainSeedEquivalence(t *testing.T) {
+	cases := []struct {
+		base   int64
+		id     int64
+		coords []int64
+	}{
+		{0, 0, nil},
+		{5, 1, nil},
+		{5, 2, []int64{0}},
+		{17, 3, []int64{4, 9, -1}},
+		{-3, 101, []int64{12}},
+		{42, 104, []int64{7, 7}},
+	}
+	for _, c := range cases {
+		d := Domain{Tag: "test/stream", ID: c.id}
+		want := Seed(c.base, append([]int64{c.id}, c.coords...)...)
+		if got := DomainSeed(c.base, d, c.coords...); got != want {
+			t.Errorf("DomainSeed(%d, {id:%d}, %v) = %d, want Seed equivalent %d",
+				c.base, c.id, c.coords, got, want)
+		}
+		a, b := DomainRNG(c.base, d, c.coords...), RNG(c.base, append([]int64{c.id}, c.coords...)...)
+		for i := 0; i < 8; i++ {
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("DomainRNG stream diverged from RNG at draw %d: %d != %d", i, x, y)
+			}
+		}
+	}
+}
+
+// TestReseedEquivalence: a Reseed-ed scratch generator must reproduce the
+// exact stream a freshly constructed RNG at the same coordinates would —
+// the property that lets hot loops reuse one generator allocation-free.
+func TestReseedEquivalence(t *testing.T) {
+	scratch := ScratchRNG()
+	for _, coords := range [][]int64{{0}, {1}, {99, 3}, {-5}} {
+		Reseed(scratch, 11, coords...)
+		fresh := RNG(11, coords...)
+		for i := 0; i < 16; i++ {
+			if x, y := scratch.Int63(), fresh.Int63(); x != y {
+				t.Fatalf("Reseed(11, %v) stream diverged at draw %d", coords, i)
+			}
+		}
+		// NormFloat64 carries no hidden state across Reseed either.
+		Reseed(scratch, 11, coords...)
+		fresh = RNG(11, coords...)
+		for i := 0; i < 16; i++ {
+			if x, y := scratch.NormFloat64(), fresh.NormFloat64(); x != y { //lint:allow floateq identical streams must match bit-for-bit
+				t.Fatalf("Reseed(11, %v) normal stream diverged at draw %d", coords, i)
+			}
+		}
+	}
+}
+
 // TestRNGSubSeedIndependentOfSiblingConsumption guards against the
 // classic shared-source bug: consuming one task's RNG must not perturb a
 // sibling's. (With a process-global source, draws interleave by

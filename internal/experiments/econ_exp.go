@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 
 	"github.com/openspace-project/openspace/internal/core"
@@ -13,6 +12,12 @@ import (
 	"github.com/openspace-project/openspace/internal/orbit"
 	"github.com/openspace-project/openspace/internal/sim"
 )
+
+// domainEcon seeds E7's user-placement stream. Before domains this drew
+// straight from cfg.Seed — correlated with every other consumer of the
+// config seed — so adopting the domain moved economics.csv by one
+// regeneration.
+var domainEcon = exec.Domain{Tag: "experiments/econ", ID: 110}
 
 // EconConfig parameterises E7: run real multi-provider traffic through a
 // federation, then exercise the §3 machinery — cross-verified ledgers,
@@ -75,7 +80,7 @@ func EconExperiment(cfg EconConfig) (*EconResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.DomainRNG(cfg.Seed, domainEcon)
 	userPos := sim.CityUsers(cfg.Providers*cfg.UsersPerISP, 30, rng)
 	var userIDs []string
 	for p := 0; p < cfg.Providers; p++ {

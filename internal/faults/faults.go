@@ -24,14 +24,14 @@ import (
 	"github.com/openspace-project/openspace/internal/topo"
 )
 
-// RNG domain tags, mixed into exec.Seed so each fault class draws an
-// independent stream: adding a ground station can never perturb the
-// satellite failure schedule.
-const (
-	domainSat    = 101
-	domainISL    = 102
-	domainGround = 103
-	domainStorm  = 104
+// RNG domains: each fault class draws an independent stream, so adding a
+// ground station can never perturb the satellite failure schedule. The
+// IDs predate the tags — every committed fault schedule keeps its stream.
+var (
+	domainSat    = exec.Domain{Tag: "faults/satfail", ID: 101}
+	domainISL    = exec.Domain{Tag: "faults/islflap", ID: 102}
+	domainGround = exec.Domain{Tag: "faults/ground", ID: 103}
+	domainStorm  = exec.Domain{Tag: "faults/storm", ID: 104}
 )
 
 // Kind labels a fault class.
@@ -230,11 +230,11 @@ func Generate(cfg Config, horizonS float64, in Inputs) (*Timeline, error) {
 	tl := &Timeline{HorizonS: horizonS}
 
 	// Independent renewal processes per element.
-	renewal := func(domain int64, idx int, mtbf, mttr float64, mk func(start, end float64) Event) {
+	renewal := func(domain exec.Domain, idx int, mtbf, mttr float64, mk func(start, end float64) Event) {
 		if mtbf <= 0 {
 			return
 		}
-		rng := exec.RNG(cfg.Seed, domain, int64(idx))
+		rng := exec.DomainRNG(cfg.Seed, domain, int64(idx))
 		t := rng.ExpFloat64() * mtbf
 		for t < horizonS {
 			end := t + rng.ExpFloat64()*mttr
@@ -265,10 +265,10 @@ func Generate(cfg Config, horizonS float64, in Inputs) (*Timeline, error) {
 	// rolls per-satellite membership and outage length from a per-storm
 	// stream, so storms are reproducible independently of each other.
 	if cfg.StormMTBFS > 0 {
-		arrivals := exec.RNG(cfg.Seed, domainStorm)
+		arrivals := exec.DomainRNG(cfg.Seed, domainStorm)
 		t := arrivals.ExpFloat64() * cfg.StormMTBFS
 		for storm := 0; t < horizonS; storm++ {
-			srng := exec.RNG(cfg.Seed, domainStorm, int64(storm))
+			srng := exec.DomainRNG(cfg.Seed, domainStorm, int64(storm))
 			for _, id := range in.Satellites {
 				if srng.Float64() >= cfg.StormFraction {
 					continue

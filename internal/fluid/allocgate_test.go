@@ -1,0 +1,57 @@
+package fluid
+
+import (
+	"os"
+	"testing"
+)
+
+// allocGate skips unless the zero-allocation gates are explicitly enabled
+// (OPENSPACE_ALLOC_GATE=1, as CI's alloc-gate step does).
+func allocGate(t *testing.T) {
+	t.Helper()
+	if os.Getenv("OPENSPACE_ALLOC_GATE") == "" {
+		t.Skip("set OPENSPACE_ALLOC_GATE=1 to run the zero-allocation gates")
+	}
+}
+
+// TestAllocGateEvolverKernels pins the //lint:hotpath contract on the
+// evolver's per-epoch kernels (realiseEpoch, groupDemands, carryBacklog,
+// deaggregate). σ is pinned to 1 so backlog zeroes every round and the
+// iterations are identical; the path delay is pinned to one routed value
+// so the latency sketches stop growing new buckets after warmup. The
+// max-min allocation between the kernels is exercised by its own gate in
+// internal/traffic.
+func TestAllocGateEvolverKernels(t *testing.T) {
+	allocGate(t)
+	cfg := Config{Users: 200_000, Seed: 7}
+	m, err := BuildClassMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, gws := gridSnapshot(t, 100, 8, 0)
+	ev, err := NewEvolver(m, cfg, gws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full epoch populates the lit-gateway and city→gateway scratch
+	// and sizes the entry/demand buffers.
+	if err := ev.Advance(snap, 0, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	for k := range ev.served {
+		ev.served[k] = 1
+		ev.delay[k] = pathDelay{routed: true, hops: 2, propS: 0.02, bpsEff: 1e9, capped: 30}
+	}
+	step := func() {
+		ev.realiseEpoch(30, 1)
+		ev.groupDemands(30)
+		ev.carryBacklog(ev.served, 30)
+		ev.deaggregate(30)
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm: drain pre-existing backlog, settle sketch buckets
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("evolver kernels allocate %.2f per epoch, want 0", avg)
+	}
+}

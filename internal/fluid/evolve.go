@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
+	"strings"
 
 	"github.com/openspace-project/openspace/internal/exec"
 	"github.com/openspace-project/openspace/internal/sim"
@@ -34,6 +35,24 @@ type Evolver struct {
 	backlogT    []int64
 	backlogB    []float64
 	backlogAgeE []int
+
+	// Per-epoch scratch, sized once at construction and reused by every
+	// Advance so the realise/group/carry/deaggregate kernels allocate
+	// nothing in steady state (see TestAllocGateEvolverKernels). rng is a
+	// single scratch generator Reseed-ed per (aggregate, epoch) — the
+	// identical stream exec.RNG would construct, without the two heap
+	// objects per draw site.
+	rng        *rand.Rand
+	lit        []traffic.Gateway
+	cityGW     []string
+	poolT      []int64
+	poolB      []float64
+	oldT       []int64
+	served     []float64
+	delay      []pathDelay
+	entries    []groupEntry
+	groupStart []int32
+	demands    []traffic.Demand
 }
 
 // Result accumulates ScenarioResult-compatible counters across epochs.
@@ -116,15 +135,27 @@ func NewEvolver(m *ClassMatrix, cfg Config, gws []traffic.Gateway) (*Evolver, er
 	for _, cl := range m.Classes {
 		res.PerClass = append(res.PerClass, ClassResult{Name: cl.Name, Latency: mustSketch(cfg.SketchAlpha)})
 	}
+	n := len(m.Aggregates)
 	return &Evolver{
 		m:           m,
 		cfg:         cfg,
 		gws:         gws,
 		model:       traffic.DefaultCapacityModel(),
 		res:         res,
-		backlogT:    make([]int64, len(m.Aggregates)),
-		backlogB:    make([]float64, len(m.Aggregates)),
-		backlogAgeE: make([]int, len(m.Aggregates)),
+		backlogT:    make([]int64, n),
+		backlogB:    make([]float64, n),
+		backlogAgeE: make([]int, n),
+		rng:         exec.ScratchRNG(),
+		lit:         make([]traffic.Gateway, 0, len(gws)),
+		cityGW:      make([]string, len(m.Cities)),
+		poolT:       make([]int64, n),
+		poolB:       make([]float64, n),
+		oldT:        make([]int64, n),
+		served:      make([]float64, n),
+		delay:       make([]pathDelay, n),
+		entries:     make([]groupEntry, 0, n),
+		groupStart:  make([]int32, 0, n+1),
+		demands:     make([]traffic.Demand, 0, n),
 	}, nil
 }
 
@@ -136,10 +167,35 @@ func mustSketch(alpha float64) *sim.Sketch {
 	return s
 }
 
-// demandKey groups aggregates that share a routed commodity.
-type demandKey struct {
+// groupEntry is one aggregate's contribution to a routed commodity.
+// Sorted by (src, dst, class, k), runs of equal (src, dst, class) are the
+// demand groups, members in ascending aggregate order — the same member
+// order and float summation order the retired map-of-groups
+// implementation produced, so every counter stays bit-identical.
+type groupEntry struct {
 	src, dst string
 	class    int
+	k        int
+}
+
+// cmpGroupEntry is a total order (k is unique per epoch), so the grouped
+// runs are independent of the sort algorithm.
+func cmpGroupEntry(a, b groupEntry) int {
+	if c := strings.Compare(a.src, b.src); c != 0 {
+		return c
+	}
+	if c := strings.Compare(a.dst, b.dst); c != 0 {
+		return c
+	}
+	if a.class != b.class {
+		return a.class - b.class
+	}
+	return a.k - b.k
+}
+
+// sameCommodity reports whether two entries share a routed commodity.
+func sameCommodity(a, b groupEntry) bool {
+	return a.src == b.src && a.dst == b.dst && a.class == b.class
 }
 
 // Advance evolves the matrix across one epoch [t0, t1) over the given
@@ -154,31 +210,82 @@ func (e *Evolver) Advance(snap *topo.Snapshot, t0, t1 float64, epoch int) error 
 	// Lit gateways: present in the snapshot with at least one live link.
 	// Fault masks that sever a gateway remove its edges in the overlay,
 	// which is exactly what re-routes its cities elsewhere.
-	var lit []traffic.Gateway
+	e.lit = e.lit[:0]
 	for _, g := range e.gws {
 		if snap.Node(g.ID) != nil && len(snap.Neighbors(g.ID)) > 0 {
-			lit = append(lit, g)
+			e.lit = append(e.lit, g)
 		}
 	}
-	cityGW := make([]string, len(e.m.Cities))
 	for i, c := range e.m.Cities {
-		if len(lit) > 0 {
-			cityGW[i] = traffic.NearestGatewayID(lit, c.Pos)
+		e.cityGW[i] = ""
+		if len(e.lit) > 0 {
+			e.cityGW[i] = traffic.NearestGatewayID(e.lit, c.Pos)
 		}
 	}
 
-	// Realise this epoch's arrivals and pool them with the backlog. The
-	// pool is what gets offered; σ of it will be delivered.
-	poolT := make([]int64, len(e.m.Aggregates))
-	poolB := make([]float64, len(e.m.Aggregates))
-	oldT := make([]int64, len(e.m.Aggregates))
-	groups := make(map[demandKey]*demandGroup)
+	// Realise this epoch's arrivals and pool them with the backlog.
+	e.realiseEpoch(dt, epoch)
+
+	if len(e.lit) == 0 {
+		e.res.DarkEpochs++
+		e.carryBacklog(nil, 0)
+		e.res.Epochs++
+		e.res.HorizonS += dt
+		return nil
+	}
+
+	// One max-min fair pass per epoch over the grouped commodities.
+	e.groupDemands(dt)
+	net := traffic.NewNetwork(snap)
+	net.Recapacitate(e.model)
+	alloc, err := traffic.MaxMinFair(net, e.demands, traffic.AllocConfig{KPaths: e.cfg.KPaths})
+	if err != nil {
+		return fmt.Errorf("fluid: epoch %d allocation: %w", epoch, err)
+	}
+
+	for k := range e.served { // reset per-aggregate σ and path delay
+		e.served[k] = 0
+		e.delay[k] = pathDelay{}
+	}
+	for i := range alloc.Demands {
+		da := &alloc.Demands[i]
+		sigma := 0.0
+		if da.Path != nil && da.OfferedBps > 0 {
+			sigma = da.RateBps / da.OfferedBps
+		}
+		pd := pathDelayOf(snap, net, alloc, da.Path, dt)
+		for _, ge := range e.entries[e.groupStart[i]:e.groupStart[i+1]] {
+			e.served[ge.k] = sigma
+			e.delay[ge.k] = pd
+		}
+	}
+	e.carryBacklog(e.served, dt)
+	e.deaggregate(dt)
+
+	e.res.carriedBpsDt += alloc.CarriedBps() * dt
+	e.res.Epochs++
+	e.res.HorizonS += dt
+	return nil
+}
+
+// realiseEpoch draws each aggregate's Poisson arrivals, settles the
+// trivial coincident-gateway cases, pools the rest with carried backlog
+// into the scratch pool slices, and emits one group entry per offerable
+// aggregate. The pool is what gets offered; σ of it will be delivered.
+//
+//lint:hotpath
+func (e *Evolver) realiseEpoch(dt float64, epoch int) {
+	e.entries = e.entries[:0]
+	for k := range e.m.Aggregates {
+		e.poolT[k], e.poolB[k], e.oldT[k] = 0, 0, 0
+	}
 	for k := range e.m.Aggregates {
 		a := &e.m.Aggregates[k]
-		arrivals := poisson(exec.RNG(a.Seed, int64(epoch)), a.LambdaPerS*dt)
+		exec.Reseed(e.rng, a.Seed, int64(epoch))
+		arrivals := poisson(e.rng, a.LambdaPerS*dt)
 		cls := &e.res.PerClass[a.Class]
-		src, dst := cityGW[a.Src], cityGW[a.Dst]
-		if len(lit) > 0 && src == dst {
+		src, dst := e.cityGW[a.Src], e.cityGW[a.Dst]
+		if len(e.lit) > 0 && src == dst {
 			// Never enters the space segment; excluded like LocalUsers.
 			e.res.LocalTransfers += arrivals
 			if e.backlogT[k] > 0 {
@@ -197,81 +304,38 @@ func (e *Evolver) Advance(snap *topo.Snapshot, t0, t1 float64, epoch int) error 
 		}
 		e.res.TransfersAttempted += arrivals
 		cls.TransfersAttempted += arrivals
-		oldT[k] = e.backlogT[k]
-		poolT[k] = e.backlogT[k] + arrivals
-		poolB[k] = e.backlogB[k] + float64(arrivals)*a.MeanBytes
-		if poolT[k] == 0 || len(lit) == 0 {
+		e.oldT[k] = e.backlogT[k]
+		e.poolT[k] = e.backlogT[k] + arrivals
+		e.poolB[k] = e.backlogB[k] + float64(arrivals)*a.MeanBytes
+		if e.poolT[k] == 0 || len(e.lit) == 0 {
 			continue
 		}
-		key := demandKey{src: src, dst: dst, class: a.Class}
-		g := groups[key]
-		if g == nil {
-			g = &demandGroup{}
-			groups[key] = g
-		}
-		g.offeredBps += poolB[k] * 8 / dt
-		g.members = append(g.members, k)
+		e.entries = append(e.entries, groupEntry{src: src, dst: dst, class: a.Class, k: k})
 	}
-
-	if len(lit) == 0 {
-		e.res.DarkEpochs++
-		e.carryBacklog(poolT, poolB, oldT, nil, 0)
-		e.res.Epochs++
-		e.res.HorizonS += dt
-		return nil
-	}
-
-	// One max-min fair pass per epoch: commodities in sorted key order so
-	// the allocator (deterministic in input order) sees a canonical input.
-	keys := make([]demandKey, 0, len(groups))
-	for key := range groups {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].src != keys[b].src {
-			return keys[a].src < keys[b].src
-		}
-		if keys[a].dst != keys[b].dst {
-			return keys[a].dst < keys[b].dst
-		}
-		return keys[a].class < keys[b].class
-	})
-	demands := make([]traffic.Demand, len(keys))
-	for i, key := range keys {
-		demands[i] = traffic.Demand{Src: key.src, Dst: key.dst, OfferedBps: groups[key].offeredBps}
-	}
-	net := traffic.NewNetwork(snap)
-	net.Recapacitate(e.model)
-	alloc, err := traffic.MaxMinFair(net, demands, traffic.AllocConfig{KPaths: e.cfg.KPaths})
-	if err != nil {
-		return fmt.Errorf("fluid: epoch %d allocation: %w", epoch, err)
-	}
-
-	served := make([]float64, len(e.m.Aggregates)) // per-aggregate σ
-	delay := make([]pathDelay, len(e.m.Aggregates))
-	for i, da := range alloc.Demands {
-		sigma := 0.0
-		if da.Path != nil && da.OfferedBps > 0 {
-			sigma = da.RateBps / da.OfferedBps
-		}
-		pd := pathDelayOf(snap, net, alloc, da.Path, dt)
-		for _, k := range groups[keys[i]].members {
-			served[k] = sigma
-			delay[k] = pd
-		}
-	}
-	e.carryBacklog(poolT, poolB, oldT, served, dt)
-	e.deaggregate(poolT, poolB, oldT, served, delay, dt)
-
-	e.res.carriedBpsDt += alloc.CarriedBps() * dt
-	e.res.Epochs++
-	e.res.HorizonS += dt
-	return nil
 }
 
-type demandGroup struct {
-	offeredBps float64
-	members    []int
+// groupDemands sorts the epoch's entries into commodity runs and builds
+// one traffic.Demand per run, offered loads summed in ascending aggregate
+// order. groupStart[i] is run i's first entry index; a final sentinel
+// closes the last run. Sorted key order means the allocator
+// (deterministic in input order) sees a canonical input.
+//
+//lint:hotpath
+func (e *Evolver) groupDemands(dt float64) {
+	slices.SortFunc(e.entries, cmpGroupEntry)
+	e.demands = e.demands[:0]
+	e.groupStart = e.groupStart[:0]
+	for i := 0; i < len(e.entries); {
+		j := i
+		offered := 0.0
+		for ; j < len(e.entries) && sameCommodity(e.entries[i], e.entries[j]); j++ {
+			offered += e.poolB[e.entries[j].k] * 8 / dt
+		}
+		e.groupStart = append(e.groupStart, int32(i))
+		e.demands = append(e.demands, traffic.Demand{Src: e.entries[i].src, Dst: e.entries[i].dst, OfferedBps: offered})
+		i = j
+	}
+	e.groupStart = append(e.groupStart, int32(len(e.entries)))
 }
 
 // pathDelay caches the latency ingredients of one routed path.
@@ -320,18 +384,20 @@ func pathDelayOf(snap *topo.Snapshot, net *traffic.Network, alloc *traffic.Alloc
 // carryBacklog settles each aggregate's pool: the served fraction leaves,
 // the rest ages in backlog, and backlog older than the retry budget is
 // abandoned. served == nil means a dark epoch (σ = 0 everywhere).
-func (e *Evolver) carryBacklog(poolT []int64, poolB []float64, oldT []int64, served []float64, dt float64) {
+//
+//lint:hotpath
+func (e *Evolver) carryBacklog(served []float64, dt float64) {
 	for k := range e.m.Aggregates {
 		sigma := 0.0
 		if served != nil {
 			sigma = served[k]
 		}
-		deliveredT := int64(math.Floor(sigma*float64(poolT[k]) + 0.5))
-		if deliveredT > poolT[k] {
-			deliveredT = poolT[k]
+		deliveredT := int64(math.Floor(sigma*float64(e.poolT[k]) + 0.5))
+		if deliveredT > e.poolT[k] {
+			deliveredT = e.poolT[k]
 		}
-		remainT := poolT[k] - deliveredT
-		remainB := poolB[k] * (1 - sigma)
+		remainT := e.poolT[k] - deliveredT
+		remainB := e.poolB[k] * (1 - sigma)
 		if remainT == 0 {
 			e.backlogT[k], e.backlogB[k], e.backlogAgeE[k] = 0, 0, 0
 			continue
@@ -340,7 +406,7 @@ func (e *Evolver) carryBacklog(poolT []int64, poolB []float64, oldT []int64, ser
 		// the survivors' age is the old age + 1 if any old transfer
 		// remains, else 1 (only this epoch's arrivals wait).
 		age := 1
-		if oldT[k] > deliveredT {
+		if e.oldT[k] > deliveredT {
 			age = e.backlogAgeE[k] + 1
 		}
 		if age > e.cfg.MaxRetryEpochs {
@@ -364,27 +430,29 @@ func (e *Evolver) carryBacklog(poolT []int64, poolB []float64, oldT []int64, ser
 // the epoch span); sizes are sampled at the class distribution's decile
 // midpoints, so an aggregate's delivered count spreads over ten analytic
 // quantiles instead of materialising per-transfer samples.
-func (e *Evolver) deaggregate(poolT []int64, poolB []float64, oldT []int64, served []float64, delay []pathDelay, dt float64) {
+//
+//lint:hotpath
+func (e *Evolver) deaggregate(dt float64) {
 	for k := range e.m.Aggregates {
 		a := &e.m.Aggregates[k]
-		sigma := served[k]
-		deliveredT := int64(math.Floor(sigma*float64(poolT[k]) + 0.5))
-		if deliveredT > poolT[k] {
-			deliveredT = poolT[k]
+		sigma := e.served[k]
+		deliveredT := int64(math.Floor(sigma*float64(e.poolT[k]) + 0.5))
+		if deliveredT > e.poolT[k] {
+			deliveredT = e.poolT[k]
 		}
 		if deliveredT == 0 {
 			continue
 		}
-		deliveredB := int64(sigma*poolB[k] + 0.5)
+		deliveredB := int64(sigma*e.poolB[k] + 0.5)
 		cls := &e.res.PerClass[a.Class]
 		e.res.TransfersDelivered += deliveredT
 		cls.TransfersDelivered += deliveredT
 		e.res.BytesDelivered += deliveredB
 		cls.BytesDelivered += deliveredB
-		if rec := min64(deliveredT, oldT[k]); rec > 0 {
+		if rec := min64(deliveredT, e.oldT[k]); rec > 0 {
 			e.res.Recovered += rec
 		}
-		pd := delay[k]
+		pd := e.delay[k]
 		if !pd.routed || pd.bpsEff <= 0 {
 			continue
 		}

@@ -7,10 +7,11 @@ import (
 	"github.com/openspace-project/openspace/internal/sim"
 )
 
-// rngDomainFluid separates aggregate arrival streams from every other
-// exec.Seed consumer (core reserves domains 1 and 2 for topology and
-// scenario randomness).
-const rngDomainFluid = 3
+// domainArrivals separates aggregate arrival streams from every other
+// seed consumer (core reserves domains 1 and 2 for topology and scenario
+// randomness). The ID predates the tag, so realised arrivals stay
+// byte-identical to the numeric-domain era.
+var domainArrivals = exec.Domain{Tag: "fluid/arrivals", ID: 3}
 
 // Config parameterises aggregate (fluid) mode. The zero value is
 // disabled: Scenario embeds a Config, and Users == 0 keeps the per-flow
@@ -138,7 +139,7 @@ func BuildClassMatrix(cfg Config) (*ClassMatrix, error) {
 					Users:      users,
 					LambdaPerS: users * cl.RatePerUserS,
 					MeanBytes:  cl.MeanBytes(),
-					Seed:       exec.Seed(cfg.Seed, rngDomainFluid, int64(i), int64(j), int64(ci)),
+					Seed:       exec.DomainSeed(cfg.Seed, domainArrivals, int64(i), int64(j), int64(ci)),
 				})
 			}
 		}

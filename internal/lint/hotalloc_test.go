@@ -1,0 +1,124 @@
+package lint
+
+import "testing"
+
+func TestHotalloc(t *testing.T) {
+	pkg := Module + "/internal/fixture"
+
+	t.Run("unmarked_functions_are_ignored", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+func Cold() []int {
+	out := make([]int, 0, 8)
+	return append(out, 1)
+}
+`})
+	})
+
+	t.Run("allocation_constructs_in_marked_function", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+import "fmt"
+
+type state struct {
+	scratch []int
+	name    string
+}
+
+//lint:hotpath
+func (s *state) Step(in []int) {
+	buf := make([]int, 4)                  // want "make allocates in //lint:hotpath Step"
+	lit := []int{1, 2}                     // want "slice literal allocates"
+	m := map[int]int{}                     // want "map literal allocates"
+	p := &state{}                          // want "&composite literal escapes to the heap"
+	var fresh []int
+	fresh = append(fresh, 1)               // want "append into a fresh slice grows per call"
+	s.scratch = append(s.scratch, 2)       // field-backed scratch: fine
+	in = append(in, 3)                     // parameter-backed: caller owns the storage
+	fmt.Sprintf("%d", len(buf))            // want "fmt.Sprintf formats through interfaces"
+	bs := []byte(s.name)                   // want "conversion copies and allocates"
+	_ = string(bs)                         // want "conversion copies and allocates"
+	_, _, _, _ = lit, m, p, fresh
+}
+`})
+	})
+
+	t.Run("append_into_rehomed_scratch_is_fine", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+
+type state struct{ scratch []int }
+
+//lint:hotpath
+func (s *state) Step() {
+	buf := s.scratch[:0]
+	buf = append(buf, 1)
+	buf = append(buf, 2)
+	s.scratch = buf
+}
+`})
+	})
+
+	t.Run("closures_and_maps_and_boxing", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+
+func sink(v any) {}
+
+type state struct{ m map[int]int }
+
+//lint:hotpath
+func (s *state) Step(k int) {
+	total := 0
+	f := func() { total++ }        // want "closure captures total and allocates"
+	g := func(x int) int { return x + 1 } // non-capturing: compiles to a plain function
+	s.m[k] = g(k)                  // want "map write"
+	s.m[k]++                       // want "map write"
+	sink(k)                        // want "boxes and may allocate"
+	f()
+}
+`})
+	})
+
+	t.Run("transitive_callees_are_checked", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+
+//lint:hotpath
+func Outer() { helper() }
+
+func helper() {
+	_ = make([]int, 1) // want "make allocates in helper, statically reachable from //lint:hotpath Outer"
+}
+
+func unreached() []int {
+	return make([]int, 1) // not in the hot set: fine
+}
+`})
+	})
+
+	t.Run("cross_package_callees_are_checked", func(t *testing.T) {
+		dep := fixturePkg{Module + "/internal/dep", `package dep
+
+// Grow is reached from a //lint:hotpath caller in another package.
+func Grow() []int {
+	return make([]int, 1) // want "make allocates in Grow, statically reachable from //lint:hotpath Loop"
+}
+`}
+		root := fixturePkg{pkg, `package fixture
+import "` + Module + `/internal/dep"
+
+//lint:hotpath
+func Loop() { dep.Grow() }
+`}
+		runFixtureRoots(t, analyzerByName(t, "hotalloc"), 2, dep, root)
+	})
+
+	t.Run("allow_suppresses_amortized_allocation", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "hotalloc"), fixturePkg{pkg, `package fixture
+
+type q struct{ buckets [][]int }
+
+//lint:hotpath
+func (x *q) resize(nb int) {
+	//lint:allow hotalloc doubling resize amortizes to O(1) per push
+	x.buckets = make([][]int, nb)
+}
+`})
+	})
+}

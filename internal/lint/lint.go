@@ -17,6 +17,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -33,13 +34,19 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Analyzers is the suite in reporting order.
+// Analyzers is the suite in reporting order. Each call returns fresh
+// instances: the flow-aware analyzers (hotalloc's hot-function set,
+// seeddomain's repo-wide domain registry) accumulate state across the
+// packages of one RunAnalyzers call, so analyzer values must not be
+// shared between runs.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		nondetermAnalyzer(),
 		maporderAnalyzer(),
 		errdropAnalyzer(),
 		floateqAnalyzer(),
+		hotallocAnalyzer(),
+		seeddomainAnalyzer(),
 	}
 }
 
@@ -54,10 +61,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's run over one package.
+// A Pass carries one analyzer's run over one package. All holds every
+// loaded package — roots and module-internal dependencies — so flow-aware
+// analyzers can follow calls across package boundaries; findings are
+// still only reported against the pass's own package.
 type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
+	All      []*Package
 	analyzer *Analyzer
 	diags    *[]Diagnostic
 }
@@ -86,11 +97,22 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowDirective is one well-formed //lint:allow annotation: the lines it
+// covers, and whether it ever suppressed a finding (a directive that
+// suppresses nothing is itself reported — dead exceptions rot the
+// contract).
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     bool
+}
+
 // directives scans a package's comments for //lint:allow annotations.
 // Malformed directives (unknown analyzer, missing reason) are reported as
-// findings so the escape hatch cannot silently rot.
-func directives(fset *token.FileSet, pkg *Package, known map[string]bool, diags *[]Diagnostic) map[allowKey]bool {
-	allowed := map[allowKey]bool{}
+// findings so the escape hatch cannot silently rot. Only line comments
+// participate: a directive buried in a /* block comment */ is inert.
+func directives(fset *token.FileSet, pkg *Package, known map[string]bool, diags *[]Diagnostic) []*allowDirective {
+	var out []*allowDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -110,17 +132,16 @@ func directives(fset *token.FileSet, pkg *Package, known map[string]bool, diags 
 						Message: fmt.Sprintf("directive %q needs a reason: an unexplained exception is not an exception", c.Text)})
 					continue
 				}
-				for _, l := range []int{pos.Line, pos.Line + 1} {
-					allowed[allowKey{pos.Filename, l, fields[0]}] = true
-				}
+				out = append(out, &allowDirective{pos: pos, analyzer: fields[0]})
 			}
 		}
 	}
-	return allowed
+	return out
 }
 
 // RunAnalyzers runs the suite over every root package and returns findings
-// sorted by position, with //lint:allow suppressions applied.
+// sorted by position, with //lint:allow suppressions applied and stale
+// directives — ones that no longer suppress anything — reported.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{}
 	for _, a := range analyzers {
@@ -132,15 +153,28 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 			continue
 		}
 		var raw []Diagnostic
-		allowed := directives(fset, pkg, known, &raw)
+		dirs := directives(fset, pkg, known, &raw)
+		allowed := map[allowKey]*allowDirective{}
+		for _, d := range dirs {
+			for _, l := range []int{d.pos.Line, d.pos.Line + 1} {
+				allowed[allowKey{d.pos.Filename, l, d.analyzer}] = d
+			}
+		}
 		for _, a := range analyzers {
-			a.Run(&Pass{Fset: fset, Pkg: pkg, analyzer: a, diags: &raw})
+			a.Run(&Pass{Fset: fset, Pkg: pkg, All: pkgs, analyzer: a, diags: &raw})
 		}
 		for _, d := range raw {
-			if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			if dir := allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; dir != nil {
+				dir.used = true
 				continue
 			}
 			diags = append(diags, d)
+		}
+		for _, d := range dirs {
+			if !d.used {
+				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "directive",
+					Message: fmt.Sprintf("stale //lint:allow %s: no %s finding on this line or the next; delete the directive", d.analyzer, d.analyzer)})
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -163,6 +197,23 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 // file:line:col diagnostics, and return the exit code (0 clean, 1
 // findings, 2 load failure).
 func Main(dir string, patterns []string, stdout, stderr io.Writer) int {
+	return Run(dir, patterns, false, stdout, stderr)
+}
+
+// jsonDiagnostic is the machine-readable rendering of one finding: one
+// JSON object per line, stable field order, for CI artifacts and tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Run is Main with an output selector: human-readable file:line:col text,
+// or JSON lines when jsonOut is set. Exit codes are identical either way
+// (0 clean, 1 findings, 2 load failure).
+func Run(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -173,7 +224,18 @@ func Main(dir string, patterns []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags := RunAnalyzers(fset, pkgs, Analyzers())
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
+		if jsonOut {
+			if err := enc.Encode(jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {

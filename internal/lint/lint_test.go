@@ -2,10 +2,47 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
 )
+
+// TestJSONOutput pins the machine-readable mode CI uploads as an
+// artifact: one JSON object per finding per line, same findings and exit
+// code as the text mode.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain via go list")
+	}
+	var text, jsonBuf, errb bytes.Buffer
+	if exit := Run(".", []string{"./testdata/src/floateq_bad"}, false, &text, &errb); exit != 1 {
+		t.Fatalf("text exit = %d, want 1 (stderr: %s)", exit, errb.String())
+	}
+	if exit := Run(".", []string{"./testdata/src/floateq_bad"}, true, &jsonBuf, &errb); exit != 1 {
+		t.Fatalf("json exit = %d, want 1 (stderr: %s)", exit, errb.String())
+	}
+	textLines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	jsonLines := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
+	if len(jsonLines) != len(textLines) {
+		t.Fatalf("json mode emitted %d findings, text mode %d", len(jsonLines), len(textLines))
+	}
+	for _, line := range jsonLines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("unparseable JSON finding %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("JSON finding with empty field: %q", line)
+		}
+	}
+}
 
 func TestDirectiveValidation(t *testing.T) {
 	pkg := Module + "/internal/fixture"
@@ -50,6 +87,57 @@ func Mix(a, b float64) bool {
 	})
 }
 
+func TestDirectiveEdgeCases(t *testing.T) {
+	pkg := Module + "/internal/fixture"
+
+	t.Run("block_comment_directive_is_inert", func(t *testing.T) {
+		// Only line comments carry directives: a block comment that spells
+		// one out suppresses nothing (and is not itself a finding — it is
+		// just prose).
+		runFixture(t, analyzerByName(t, "nondeterm"), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Draw() int {
+	/* lint:allow nondeterm tucked into a block comment */
+	return rand.Intn(10) // want "nondeterm: global math/rand.Intn"
+}
+`})
+	})
+
+	t.Run("blank_line_breaks_coverage", func(t *testing.T) {
+		// A directive covers its own line and the next; a blank line in
+		// between means the finding survives AND the directive is stale.
+		runFixture(t, analyzerByName(t, "nondeterm"), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Draw() int {
+	//lint:allow nondeterm does not reach past the blank line // want "stale //lint:allow nondeterm"
+
+	return rand.Intn(10) // want "nondeterm: global math/rand.Intn"
+}
+`})
+	})
+
+	t.Run("two_analyzers_allowed_on_one_line", func(t *testing.T) {
+		// One directive above plus one trailing covers a line that trips
+		// two analyzers at once; both are used, so neither is stale.
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+import "math/rand"
+func Mix(a, b float64) bool {
+	//lint:allow floateq quantized comparison audited by hand
+	return float64(rand.Intn(10)) == a*b //lint:allow nondeterm demo draw, not an experiment
+}
+`})
+	})
+
+	t.Run("stale_directive_reported", func(t *testing.T) {
+		runFixture(t, Analyzers(), fixturePkg{pkg, `package fixture
+func F() int {
+	//lint:allow nondeterm nothing left to excuse here // want "stale //lint:allow nondeterm: no nondeterm finding"
+	return 1
+}
+`})
+	})
+}
+
 // TestMainOnFixturePackages drives the real loader + CLI path over the
 // compiled fixture packages in testdata: each bad package must produce
 // file:line diagnostics and exit 1, and the audited modalKind shape must
@@ -75,6 +163,14 @@ func TestMainOnFixturePackages(t *testing.T) {
 		}},
 		{"./testdata/src/floateq_bad", 1, []string{
 			"floateq_bad.go", "exact floating-point == comparison",
+		}},
+		{"./testdata/src/hotalloc_bad", 1, []string{
+			"hotalloc_bad.go", "make allocates", "append into a fresh slice",
+			"statically reachable from //lint:hotpath",
+		}},
+		{"./testdata/src/seeddomain_bad", 1, []string{
+			"seeddomain_bad.go", "raw rand.New constructs an untagged stream",
+			"already declared", "must read",
 		}},
 		// Regression fixture for the audited map range in
 		// internal/experiments/capacity_exp.go (modalKind): sorted after

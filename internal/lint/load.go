@@ -201,6 +201,63 @@ func topoSort(mod string, metas map[string]*listedPackage) ([]string, error) {
 	return order, nil
 }
 
+// declSite is one function declaration with a body somewhere in the
+// loaded module: the call graph's node payload.
+type declSite struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// funcDecls indexes every function and method declared with a body across
+// the loaded packages by its types.Func object. This is the intra-module
+// half of a call graph: stdlib callees have no entry and a walk simply
+// stops at them.
+func funcDecls(pkgs []*Package) map[*types.Func]declSite {
+	decls := map[*types.Func]declSite{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = declSite{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// staticCallees appends the statically-resolvable callees of the
+// declaration's body: direct calls to named functions and methods whose
+// identity the type checker pins down. Calls through function values,
+// interface methods without a concrete receiver, and builtins resolve to
+// nothing and the walk stops there — the hot-path contract is about code
+// the compiler provably reaches, not about dynamic dispatch.
+func staticCallees(site declSite, dst []*types.Func) []*types.Func {
+	info := site.Pkg.Info
+	ast.Inspect(site.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = info.ObjectOf(fun)
+		case *ast.SelectorExpr:
+			obj = info.ObjectOf(fun.Sel)
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			dst = append(dst, fn)
+		}
+		return true
+	})
+	return dst
+}
+
 // checkPackage parses and type-checks one package's non-test files.
 func checkPackage(fset *token.FileSet, imp types.Importer, meta *listedPackage) (*Package, error) {
 	var files []*ast.File

@@ -11,10 +11,14 @@ import (
 // holds (examples and demo binaries may be as casual as they like).
 const Module = "github.com/openspace-project/openspace"
 
-// seedFunc is the one blessed seed-derivation path: every parallel task
+// seedFuncs are the blessed seed-derivation paths: every parallel task
 // derives its stream from (base seed, task coordinates) through SplitMix64
-// so results never depend on worker scheduling.
-const seedFunc = Module + "/internal/exec.Seed"
+// so results never depend on worker scheduling. DomainSeed is Seed with a
+// named stream family folded in first (see the seeddomain analyzer).
+var seedFuncs = map[string]bool{
+	Module + "/internal/exec.Seed":       true,
+	Module + "/internal/exec.DomainSeed": true,
+}
 
 // nondetermAnalyzer forbids the three ways nondeterminism has historically
 // entered simulation codebases: reading the wall clock, drawing from the
@@ -114,7 +118,7 @@ func checkSeedExpr(p *Pass, seed ast.Expr) {
 		}
 		fn := calledFunc(p, call)
 		if fn != nil {
-			if fn.FullName() == seedFunc {
+			if seedFuncs[fn.FullName()] {
 				return false // the blessed derivation
 			}
 			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && isRandRand(recv.Type()) {

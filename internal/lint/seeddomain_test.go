@@ -1,0 +1,91 @@
+package lint
+
+import "testing"
+
+func TestSeeddomain(t *testing.T) {
+	pkg := Module + "/internal/fixture"
+
+	t.Run("raw_construction_reported_once", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import "math/rand"
+func A() *rand.Rand { return rand.New(rand.NewSource(42)) } // want "raw rand.New constructs an untagged stream"
+func B() rand.Source { return rand.NewSource(7) } // want "raw rand.NewSource constructs an untagged stream"
+`})
+	})
+
+	t.Run("domain_construction_is_blessed", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import (
+	"math/rand"
+	exec "` + Module + `/internal/exec"
+)
+var domainArrivals = exec.Domain{Tag: "fixture/arrivals", ID: 3}
+func A(seed int64) *rand.Rand { return exec.DomainRNG(seed, domainArrivals, 0) }
+`})
+	})
+
+	t.Run("tag_must_name_the_declaring_package", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import exec "` + Module + `/internal/exec"
+var d1 = exec.Domain{Tag: "otherpkg/arrivals", ID: 3} // want "for a stream declared in this package"
+var d2 = exec.Domain{Tag: "fixture/", ID: 4}          // want "for a stream declared in this package"
+var d3 = exec.Domain{Tag: "fixture/ok", ID: 5}
+`})
+	})
+
+	t.Run("fields_must_be_constant", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import exec "` + Module + `/internal/exec"
+func mk(tag string) exec.Domain {
+	return exec.Domain{Tag: tag, ID: 9} // want "must be constants"
+}
+var partial = exec.Domain{Tag: "fixture/partial"} // want "must set both Tag and ID"
+`})
+	})
+
+	t.Run("duplicate_tag_and_id_within_package", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import exec "` + Module + `/internal/exec"
+var a = exec.Domain{Tag: "fixture/stream", ID: 1}
+var b = exec.Domain{Tag: "fixture/stream", ID: 2} // want "already declared"
+var c = exec.Domain{Tag: "fixture/other", ID: 1}  // want "ID 1 already declared"
+`})
+	})
+
+	t.Run("duplicate_id_across_packages", func(t *testing.T) {
+		other := fixturePkg{Module + "/internal/otherfix", `package otherfix
+import exec "` + Module + `/internal/exec"
+var D = exec.Domain{Tag: "otherfix/stream", ID: 11}
+`}
+		target := fixturePkg{pkg, `package fixture
+import exec "` + Module + `/internal/exec"
+var D = exec.Domain{Tag: "fixture/stream", ID: 11} // want "ID 11 already declared"
+`}
+		runFixtureRoots(t, analyzerByName(t, "seeddomain"), 2, execStub, other, target)
+	})
+
+	t.Run("splitmix_reimplementation_reported", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15 // want "SplitMix64 constant"
+	return x
+}
+`})
+	})
+
+	t.Run("exec_itself_is_exempt", func(t *testing.T) {
+		// The stub exec package uses raw rand.New by design; analyzing it
+		// as a root must stay clean.
+		runFixtureRoots(t, analyzerByName(t, "seeddomain"), 1, execStub)
+	})
+
+	t.Run("allow_suppresses", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "seeddomain"), execStub, fixturePkg{pkg, `package fixture
+import "math/rand"
+func A() *rand.Rand {
+	//lint:allow seeddomain stand-alone demo stream, not an experiment
+	return rand.New(rand.NewSource(42))
+}
+`})
+	})
+}

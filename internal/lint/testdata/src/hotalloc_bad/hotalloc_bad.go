@@ -1,0 +1,28 @@
+// Package hotalloc_bad is the negative fixture for the hotalloc
+// analyzer: a //lint:hotpath function that allocates directly and through
+// a static callee. CI asserts the suite fails on this package.
+package hotalloc_bad
+
+import "fmt"
+
+// Stepper carries no scratch buffers, which is exactly the bug.
+type Stepper struct {
+	out []int
+}
+
+//lint:hotpath
+func (s *Stepper) Step(n int) {
+	buf := make([]int, n)
+	var fresh []int
+	for i := range buf {
+		fresh = append(fresh, i)
+	}
+	s.out = fresh
+	s.format(n)
+}
+
+// format is not marked, but Step statically calls it, so it inherits the
+// contract.
+func (s *Stepper) format(n int) {
+	fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,28 @@
+// Package seeddomain_bad is the negative fixture for the seeddomain
+// analyzer: raw generator construction, a mis-named domain tag, and a
+// duplicated domain. CI asserts the suite fails on this package.
+package seeddomain_bad
+
+import (
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/exec"
+)
+
+// Wrong package prefix: this package's streams must be tagged
+// "seeddomain_bad/<stream>".
+var domainWrong = exec.Domain{Tag: "fluid/arrivals", ID: 900}
+
+// Copy-pasted tag: correlates two supposedly independent streams.
+var domainA = exec.Domain{Tag: "seeddomain_bad/stream", ID: 901}
+var domainB = exec.Domain{Tag: "seeddomain_bad/stream", ID: 902}
+
+// NewRaw bypasses the domain discipline entirely.
+func NewRaw(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(exec.Seed(seed)))
+}
+
+// Use keeps the domains referenced.
+func Use(seed int64) int64 {
+	return exec.DomainSeed(seed, domainWrong) ^ exec.DomainSeed(seed, domainA) ^ exec.DomainSeed(seed, domainB)
+}

@@ -42,14 +42,22 @@ type fixturePkg struct {
 }
 
 // execStub mirrors the signatures of the real derivation helpers so
-// nondeterm fixtures can exercise the blessed exec.Seed path without
-// loading the whole module.
+// nondeterm and seeddomain fixtures can exercise the blessed exec paths
+// without loading the whole module.
 var execStub = fixturePkg{
 	path: Module + "/internal/exec",
 	src: `package exec
 import "math/rand"
+type Domain struct {
+	Tag string
+	ID  int64
+}
 func Seed(base int64, coords ...int64) int64 { return base }
+func DomainSeed(base int64, d Domain, coords ...int64) int64 { return Seed(base, append([]int64{d.ID}, coords...)...) }
 func RNG(base int64, coords ...int64) *rand.Rand { return rand.New(rand.NewSource(Seed(base, coords...))) }
+func DomainRNG(base int64, d Domain, coords ...int64) *rand.Rand { return rand.New(rand.NewSource(DomainSeed(base, d, coords...))) }
+func Reseed(rng *rand.Rand, base int64, coords ...int64) { rng.Seed(Seed(base, coords...)) }
+func ScratchRNG() *rand.Rand { return rand.New(rand.NewSource(0)) }
 `,
 }
 
@@ -59,10 +67,19 @@ func RNG(base int64, coords ...int64) *rand.Rand { return rand.New(rand.NewSourc
 // wanted and every want must be found.
 func runFixture(t *testing.T, analyzers []*Analyzer, pkgs ...fixturePkg) {
 	t.Helper()
+	runFixtureRoots(t, analyzers, 1, pkgs...)
+}
+
+// runFixtureRoots is runFixture for the flow-aware analyzers: the last
+// `roots` packages are analyzed (earlier ones load as dependencies, so
+// cross-package call graphs and domain registries see them), and want
+// comments are checked across every analyzed package.
+func runFixtureRoots(t *testing.T, analyzers []*Analyzer, roots int, pkgs ...fixturePkg) {
+	t.Helper()
 	li := &loaderImporter{module: Module, cache: map[string]*types.Package{}, std: testStdImporter()}
 
-	var target *Package
-	for _, fp := range pkgs {
+	var all []*Package
+	for i, fp := range pkgs {
 		filename := fmt.Sprintf("%s_%s.go", strings.ReplaceAll(path.Base(fp.path), "-", "_"), t.Name()[strings.LastIndex(t.Name(), "/")+1:])
 		f, err := parser.ParseFile(testFset, filename, fp.src, parser.ParseComments)
 		if err != nil {
@@ -80,11 +97,29 @@ func runFixture(t *testing.T, analyzers []*Analyzer, pkgs ...fixturePkg) {
 			t.Fatalf("type-checking fixture %s: %v", fp.path, err)
 		}
 		li.cache[fp.path] = tpkg
-		target = &Package{PkgPath: fp.path, Files: []*ast.File{f}, Types: tpkg, Info: info, Root: true}
+		all = append(all, &Package{PkgPath: fp.path, Files: []*ast.File{f}, Types: tpkg, Info: info, Root: i >= len(pkgs)-roots})
 	}
 
-	got := RunAnalyzers(testFset, []*Package{target}, analyzers)
-	checkWants(t, target, got)
+	got := RunAnalyzers(testFset, all, analyzers)
+	for _, pkg := range all {
+		if !pkg.Root {
+			continue
+		}
+		// Each root package is matched only against its own files'
+		// diagnostics, so a finding in one root does not read as
+		// "unexpected" while checking another.
+		own := map[string]bool{}
+		for _, f := range pkg.Files {
+			own[testFset.Position(f.Pos()).Filename] = true
+		}
+		var mine []Diagnostic
+		for _, d := range got {
+			if own[d.Pos.Filename] {
+				mine = append(mine, d)
+			}
+		}
+		checkWants(t, pkg, mine)
+	}
 }
 
 // want comments mark expected diagnostics: `// want "substr"` on the

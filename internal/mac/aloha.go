@@ -2,8 +2,9 @@ package mac
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
+
+	"github.com/openspace-project/openspace/internal/exec"
 )
 
 // ALOHAConfig parameterises slotted ALOHA — the original satellite MAC and
@@ -48,6 +49,12 @@ func (c ALOHAConfig) Validate() error {
 	return nil
 }
 
+// domainALOHA seeds the ALOHA arrival/backoff stream. The three MAC
+// simulations drew straight from the shared seed value before domains —
+// identical arrival patterns across schemes — so adopting per-scheme
+// domains moved mac.csv by one regeneration.
+var domainALOHA = exec.Domain{Tag: "mac/aloha", ID: 120}
+
 // RunALOHA simulates the channel for the given duration. Deterministic for
 // a fixed seed.
 func RunALOHA(cfg ALOHAConfig, duration time.Duration, seed int64) (Stats, error) {
@@ -55,7 +62,7 @@ func RunALOHA(cfg ALOHAConfig, duration time.Duration, seed int64) (Stats, error
 		return Stats{}, err
 	}
 	slots := int(duration / cfg.SlotTime)
-	rng := rand.New(rand.NewSource(seed))
+	rng := exec.DomainRNG(seed, domainALOHA)
 	arrivals := bernoulliArrivals(cfg.Stations, slots, cfg.PerStationRate, cfg.SlotTime, rng)
 
 	type station struct {

@@ -2,8 +2,9 @@ package mac
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
+
+	"github.com/openspace-project/openspace/internal/exec"
 )
 
 // CSMAConfig parameterises the slotted CSMA/CA channel model. Timing
@@ -69,6 +70,10 @@ type csmaStation struct {
 	difsLeft int // idle slots still required before backoff countdown
 }
 
+// domainCSMA seeds the CSMA/CA arrival/backoff stream (see domainALOHA
+// for why the MAC schemes stopped sharing one raw stream).
+var domainCSMA = exec.Domain{Tag: "mac/csma", ID: 121}
+
 // RunCSMA simulates the channel for the given duration and returns
 // aggregate statistics. The simulation is deterministic for a fixed seed.
 func RunCSMA(cfg CSMAConfig, duration time.Duration, seed int64) (Stats, error) {
@@ -76,7 +81,7 @@ func RunCSMA(cfg CSMAConfig, duration time.Duration, seed int64) (Stats, error) 
 		return Stats{}, err
 	}
 	slots := int(duration / cfg.SlotTime)
-	rng := rand.New(rand.NewSource(seed))
+	rng := exec.DomainRNG(seed, domainCSMA)
 	arrivals := bernoulliArrivals(cfg.Stations, slots, cfg.PerStationRate, cfg.SlotTime, rng)
 
 	stations := make([]csmaStation, cfg.Stations)

@@ -2,8 +2,9 @@ package mac
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
+
+	"github.com/openspace-project/openspace/internal/exec"
 )
 
 // TDMAConfig parameterises the TDMA baseline: a repeating frame with one
@@ -41,6 +42,10 @@ func (c TDMAConfig) Validate() error {
 	return nil
 }
 
+// domainTDMA seeds the TDMA arrival stream (see domainALOHA for why the
+// MAC schemes stopped sharing one raw stream).
+var domainTDMA = exec.Domain{Tag: "mac/tdma", ID: 122}
+
 // RunTDMA simulates the TDMA frame for the given duration. One packet is
 // transmitted per owned slot; queued packets wait whole frames. The
 // simulation is deterministic for a fixed seed.
@@ -51,7 +56,7 @@ func RunTDMA(cfg TDMAConfig, duration time.Duration, seed int64) (Stats, error) 
 	slotUnits := 1 + cfg.GuardSlots // slots occupied per station turn
 	frame := cfg.Stations * slotUnits
 	slots := int(duration / cfg.SlotTime)
-	rng := rand.New(rand.NewSource(seed))
+	rng := exec.DomainRNG(seed, domainTDMA)
 	arrivals := bernoulliArrivals(cfg.Stations, slots, cfg.PerStationRate, cfg.SlotTime, rng)
 
 	var st Stats

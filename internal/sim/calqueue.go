@@ -49,6 +49,7 @@ const (
 
 // newCalQueue returns an empty queue sized for a handful of events.
 func newCalQueue() calQueue {
+	//lint:allow hotalloc one-time lazy construction reached from push's nil-buckets branch
 	return calQueue{buckets: make([][]event, calMinBuckets), width: 1}
 }
 
@@ -195,6 +196,7 @@ func (q *calQueue) resize(nb int) {
 		width = calMinWidth
 	}
 	old := q.buckets
+	//lint:allow hotalloc doubling/halving resize amortizes to O(1) per operation
 	q.buckets = make([][]event, nb)
 	q.width = width
 	q.cached = false

@@ -38,13 +38,20 @@ func NewEngine() *Engine { return &Engine{events: newCalQueue()} }
 // Now returns the current simulation time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// errNilEvent is hoisted to a sentinel so the hot Schedule path carries
+// no per-call error construction.
+var errNilEvent = errors.New("sim: nil event function")
+
 // Schedule enqueues fn at absolute time atS. Scheduling in the past is an
 // error — it would silently reorder causality.
+//
+//lint:hotpath
 func (e *Engine) Schedule(atS float64, fn func(*Engine)) error {
 	if fn == nil {
-		return errors.New("sim: nil event function")
+		return errNilEvent
 	}
 	if atS < e.now {
+		//lint:allow hotalloc cold causality-violation path, never taken in steady state
 		return fmt.Errorf("sim: schedule at %.3f is before now %.3f", atS, e.now)
 	}
 	e.events.push(event{atS: atS, seq: e.seq, fn: fn})
@@ -65,7 +72,10 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until the queue empties, Stop is
 // called, or the clock passes untilS (events after untilS stay queued and
-// the clock is left at untilS).
+// the clock is left at untilS). The step loop itself allocates nothing;
+// what the event callbacks allocate is their own business.
+//
+//lint:hotpath
 func (e *Engine) Run(untilS float64) {
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {

@@ -2,7 +2,9 @@ package topo
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"strings"
 
 	"github.com/openspace-project/openspace/internal/geo"
 	"github.com/openspace-project/openspace/internal/orbit"
@@ -248,40 +250,12 @@ func (b *builder) SnapshotAt(t float64) *Snapshot {
 	if b.staticMode {
 		cands = b.staticPairs
 	}
-	b.feasible = b.feasible[:0]
-	for _, p := range cands {
-		i, j := p[0], p[1]
-		d := b.pos[i].DistanceKm(b.pos[j])
-		maxRange := b.cfg.ISLRangeKm
-		if b.sats[i].HasLaser && b.sats[j].HasLaser && b.cfg.LaserRangeKm > maxRange {
-			maxRange = b.cfg.LaserRangeKm
-		}
-		if d > maxRange || !geo.LineOfSight(b.pos[i], b.pos[j]) {
-			continue
-		}
-		b.feasible = append(b.feasible, feasiblePair{i: i, j: j, d: d})
-	}
-	fs := b.feasible
-	sort.Slice(fs, func(a, b int) bool {
-		if fs[a].d != fs[b].d { //lint:allow floateq exact sort tie-break keeps ISL pairing deterministic
-			return fs[a].d < fs[b].d
-		}
-		if fs[a].i != fs[b].i {
-			return fs[a].i < fs[b].i
-		}
-		return fs[a].j < fs[b].j
-	})
+	fs := b.feasibleISLs(cands)
 	for i := range b.degree {
 		b.degree[i] = 0
 	}
-	limit := func(i int) int {
-		if b.sats[i].MaxISLs <= 0 {
-			return int(^uint(0) >> 1)
-		}
-		return b.sats[i].MaxISLs
-	}
 	for _, p := range fs {
-		if b.degree[p.i] >= limit(p.i) || b.degree[p.j] >= limit(p.j) {
+		if b.degree[p.i] >= b.islLimit(p.i) || b.degree[p.j] >= b.islLimit(p.j) {
 			continue
 		}
 		b.degree[p.i]++
@@ -308,10 +282,62 @@ func (b *builder) SnapshotAt(t float64) *Snapshot {
 		}
 	}
 
-	// Deterministic adjacency order.
+	// Deterministic adjacency order. Edge targets are unique within one
+	// adjacency list, so the comparator is a total order and the sorted
+	// sequence is algorithm-independent.
 	for id := range s.adj {
-		es := s.adj[id]
-		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+		slices.SortFunc(s.adj[id], func(x, y Edge) int { return strings.Compare(x.To, y.To) })
 	}
 	return s
+}
+
+// feasibleISLs refreshes the sorted feasible-pair scratch from the
+// candidate set: exact range and line-of-sight filtering, then the
+// deterministic (distance, i, j) order the greedy degree-capped
+// acceptance consumes. This runs once per snapshot over every candidate
+// pair — the incremental builder's inner kernel — and reuses the
+// receiver's scratch so the steady state allocates nothing (see
+// TestAllocGateFeasibleISLs).
+//
+//lint:hotpath
+func (b *builder) feasibleISLs(cands [][2]int) []feasiblePair {
+	b.feasible = b.feasible[:0]
+	for _, p := range cands {
+		i, j := p[0], p[1]
+		d := b.pos[i].DistanceKm(b.pos[j])
+		maxRange := b.cfg.ISLRangeKm
+		if b.sats[i].HasLaser && b.sats[j].HasLaser && b.cfg.LaserRangeKm > maxRange {
+			maxRange = b.cfg.LaserRangeKm
+		}
+		if d > maxRange || !geo.LineOfSight(b.pos[i], b.pos[j]) {
+			continue
+		}
+		b.feasible = append(b.feasible, feasiblePair{i: i, j: j, d: d})
+	}
+	slices.SortFunc(b.feasible, cmpFeasible)
+	return b.feasible
+}
+
+// cmpFeasible orders candidate ISLs by distance, ties broken by the
+// unique (i, j) index pair — a total order, so any sorting algorithm
+// yields the same sequence the retired sort.Slice produced.
+func cmpFeasible(x, y feasiblePair) int {
+	if x.d != y.d { //lint:allow floateq exact sort tie-break keeps ISL pairing deterministic
+		if x.d < y.d {
+			return -1
+		}
+		return 1
+	}
+	if x.i != y.i {
+		return x.i - y.i
+	}
+	return x.j - y.j
+}
+
+// islLimit is satellite i's ISL degree cap, unbounded when MaxISLs ≤ 0.
+func (b *builder) islLimit(i int) int {
+	if b.sats[i].MaxISLs <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return b.sats[i].MaxISLs
 }

@@ -50,6 +50,11 @@ type dinicGraph struct {
 	index map[string]int
 	adj   [][]arc
 	eps   float64
+	// Scratch reused across phases and solves: the steady-state kernel
+	// (solve/levels/augment) must not allocate (see TestAllocGateDinic).
+	level []int32
+	queue []int32
+	iter  []int32
 }
 
 func newDinicGraph(n *Network) *dinicGraph {
@@ -59,6 +64,9 @@ func newDinicGraph(n *Network) *dinicGraph {
 		index: make(map[string]int, len(ids)),
 		adj:   make([][]arc, len(ids)),
 		eps:   n.eps(),
+		level: make([]int32, len(ids)),
+		queue: make([]int32, 0, len(ids)),
+		iter:  make([]int32, len(ids)),
 	}
 	for i, id := range ids {
 		g.index[id] = i
@@ -78,43 +86,41 @@ func newDinicGraph(n *Network) *dinicGraph {
 	return g
 }
 
-// levels builds the BFS level graph from src over arcs with residual
-// capacity; it returns nil once dst is unreachable.
-func (g *dinicGraph) levels(src, dst int) []int32 {
-	level := make([]int32, len(g.nodes))
-	for i := range level {
-		level[i] = -1
+// levels rebuilds the BFS level graph from src over arcs with residual
+// capacity into the scratch level slice; it reports whether dst is still
+// reachable. Every node enqueues at most once, so the preallocated queue
+// never grows.
+func (g *dinicGraph) levels(src, dst int) bool {
+	for i := range g.level {
+		g.level[i] = -1
 	}
-	level[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	g.level[src] = 0
+	q := g.queue[:0]
+	q = append(q, int32(src))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		for _, a := range g.adj[u] {
-			if a.cap > g.eps && level[a.to] < 0 {
-				level[a.to] = level[u] + 1
-				queue = append(queue, int(a.to))
+			if a.cap > g.eps && g.level[a.to] < 0 {
+				g.level[a.to] = g.level[u] + 1
+				q = append(q, a.to)
 			}
 		}
 	}
-	if level[dst] < 0 {
-		return nil
-	}
-	return level
+	return g.level[dst] >= 0
 }
 
 // augment pushes a blocking-flow DFS step of at most limit through the
-// level graph.
-func (g *dinicGraph) augment(u, dst int, limit float64, level []int32, iter []int) float64 {
+// level graph, advancing the scratch iterators.
+func (g *dinicGraph) augment(u, dst int, limit float64) float64 {
 	if u == dst {
 		return limit
 	}
-	for ; iter[u] < len(g.adj[u]); iter[u]++ {
-		a := &g.adj[u][iter[u]]
-		if a.cap <= g.eps || level[a.to] != level[u]+1 {
+	for ; g.iter[u] < int32(len(g.adj[u])); g.iter[u]++ {
+		a := &g.adj[u][g.iter[u]]
+		if a.cap <= g.eps || g.level[a.to] != g.level[u]+1 {
 			continue
 		}
-		pushed := g.augment(int(a.to), dst, math.Min(limit, a.cap), level, iter)
+		pushed := g.augment(int(a.to), dst, math.Min(limit, a.cap))
 		if pushed > 0 {
 			a.cap -= pushed
 			g.adj[a.to][a.rev].cap += pushed
@@ -122,6 +128,40 @@ func (g *dinicGraph) augment(u, dst int, limit float64, level []int32, iter []in
 		}
 	}
 	return 0
+}
+
+// solve runs Dinic's phase loop to completion and returns the max-flow
+// value, mutating arc capacities into the residual of one maximum flow.
+// This is the steady-state kernel: everything it touches is preallocated
+// scratch on the receiver.
+//
+//lint:hotpath
+func (g *dinicGraph) solve(s, t int) float64 {
+	var value float64
+	for g.levels(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			pushed := g.augment(s, t, math.Inf(1))
+			if pushed <= 0 {
+				break
+			}
+			value += pushed
+		}
+	}
+	return value
+}
+
+// reset restores every arc to its initial capacity so the same graph can
+// be solved again without rebuilding (the alloc gate re-solves in a loop
+// to prove the kernel allocates nothing).
+func (g *dinicGraph) reset() {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			g.adj[u][i].cap = g.adj[u][i].orig
+		}
+	}
 }
 
 // MaxFlow computes the maximum src→dst flow of the network with Dinic's
@@ -139,21 +179,7 @@ func MaxFlow(n *Network, src, dst string) (*MaxFlowResult, error) {
 	}
 	g := newDinicGraph(n)
 	s, t := g.index[src], g.index[dst]
-	var value float64
-	for {
-		level := g.levels(s, t)
-		if level == nil {
-			break
-		}
-		iter := make([]int, len(g.nodes))
-		for {
-			pushed := g.augment(s, t, math.Inf(1), level, iter)
-			if pushed <= 0 {
-				break
-			}
-			value += pushed
-		}
-	}
+	value := g.solve(s, t)
 
 	res := &MaxFlowResult{ValueBps: value, Flow: make(map[LinkID]float64)}
 	for u := range g.adj {

@@ -126,18 +126,133 @@ func (a *Allocation) MaxUtilization() (LinkID, float64) {
 	return best, bestU
 }
 
-// MaxMinFair computes a max-min fair rate allocation for the demands by
-// progressive filling: every unfrozen demand's rate rises at the same pace;
-// a demand freezes when it reaches its offered load or when a link on its
-// path saturates. The result has the max-min property — no demand's rate
-// can be raised without lowering the rate of a demand that has no more —
-// restricted to the single path each demand is assigned (the widest of its
-// k shortest).
+// fillState is the progressive-filling working set with links interned
+// into dense indices, so the fill loop runs over slices instead of
+// recomputing per-link membership maps every round. Everything here is
+// preallocated before run starts: the kernel itself must not allocate
+// (see TestAllocGateMaxMinFill).
+type fillState struct {
+	eps       float64
+	linkIdx   map[LinkID]int32
+	linkIDs   []LinkID
+	linkCap   []float64
+	linkLoad  []float64
+	linkUsers []int32   // active demands per link, decremented on freeze
+	demLinks  [][]int32 // interned link indices per demand, path order
+	active    []bool
+	nActive   int
+}
+
+// intern maps one of a demand's path links to its dense index, creating
+// the link's capacity/load/user slots on first sight. Loopless paths
+// never repeat a link, but dedup keeps the per-demand user count exact
+// regardless.
+func (st *fillState) intern(dem int, l LinkID, n *Network) {
+	li, ok := st.linkIdx[l]
+	if !ok {
+		li = int32(len(st.linkIDs))
+		st.linkIdx[l] = li
+		st.linkIDs = append(st.linkIDs, l)
+		st.linkCap = append(st.linkCap, n.caps[l])
+		st.linkLoad = append(st.linkLoad, 0)
+		st.linkUsers = append(st.linkUsers, 0)
+	}
+	for _, existing := range st.demLinks[dem] {
+		if existing == li {
+			return
+		}
+	}
+	st.demLinks[dem] = append(st.demLinks[dem], li)
+}
+
+// freeze takes demand i out of the fill and releases its link shares.
+func (st *fillState) freeze(i int) {
+	st.active[i] = false
+	st.nActive--
+	for _, li := range st.demLinks[i] {
+		st.linkUsers[li]--
+	}
+}
+
+// run is the progressive-filling kernel: every unfrozen demand's rate
+// rises at the same pace; a demand freezes when it reaches its offered
+// load or when a link on its path saturates. Rounds, demands, and links
+// are traversed in fixed order, and each round adds one identical delta
+// per active user to each link's load, so the result is bit-identical to
+// the pre-interning map-based implementation.
 //
-// The computation is deterministic: demands are processed in input order,
-// links in sorted order, and path selection breaks ties toward the lower
-// Yen rank.
-func MaxMinFair(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, error) {
+//lint:hotpath
+func (st *fillState) run(dems []DemandAllocation) {
+	for st.nActive > 0 {
+		// The uniform rate increment until the first event: a link
+		// saturating or a demand reaching its offered load.
+		delta := math.Inf(1)
+		for i := range dems {
+			if !st.active[i] {
+				continue
+			}
+			if room := dems[i].OfferedBps - dems[i].RateBps; room < delta {
+				delta = room
+			}
+			for _, li := range st.demLinks[i] {
+				if nu := st.linkUsers[li]; nu > 0 {
+					if room := (st.linkCap[li] - st.linkLoad[li]) / float64(nu); room < delta {
+						delta = room
+					}
+				}
+			}
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for i := range dems {
+			if !st.active[i] {
+				continue
+			}
+			dems[i].RateBps += delta
+			for _, li := range st.demLinks[i] {
+				st.linkLoad[li] += delta
+			}
+		}
+		// Freeze demands at their offered load or behind a saturated link.
+		froze := false
+		for i := range dems {
+			if !st.active[i] {
+				continue
+			}
+			d := &dems[i]
+			if d.RateBps >= d.OfferedBps-st.eps {
+				d.RateBps = d.OfferedBps
+				st.freeze(i)
+				froze = true
+				continue
+			}
+			for _, li := range st.demLinks[i] {
+				if st.linkLoad[li] >= st.linkCap[li]-st.eps {
+					d.Bottleneck = st.linkIDs[li]
+					st.freeze(i)
+					froze = true
+					break
+				}
+			}
+		}
+		if !froze {
+			// Float-tolerance stall: nothing crossed a threshold despite a
+			// minimal delta. Freeze everything at current rates to
+			// guarantee termination; the allocation stays feasible.
+			for i := range dems {
+				if st.active[i] {
+					st.freeze(i)
+				}
+			}
+		}
+	}
+}
+
+// prepareFill routes every demand onto the widest of its k shortest
+// paths and builds the interned fill state — the allocating, cold half of
+// MaxMinFair.
+func prepareFill(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, *fillState, error) {
 	k := cfg.KPaths
 	if k <= 0 {
 		k = 1
@@ -151,15 +266,19 @@ func MaxMinFair(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, err
 		net:      n,
 		linkLoad: make(map[LinkID]float64),
 	}
-	// Per-demand link sets, and per-link active-demand membership.
-	demandLinks := make([][]LinkID, len(demands))
+	st := &fillState{
+		eps:      n.eps(),
+		linkIdx:  make(map[LinkID]int32),
+		demLinks: make([][]int32, len(demands)),
+		active:   make([]bool, len(demands)),
+	}
 	for i, d := range demands {
 		alloc.Demands[i] = DemandAllocation{Demand: d}
 		if d.OfferedBps < 0 {
-			return nil, fmt.Errorf("traffic: demand %s→%s has negative offered load", d.Src, d.Dst)
+			return nil, nil, fmt.Errorf("traffic: demand %s→%s has negative offered load", d.Src, d.Dst)
 		}
 		if n.Snap.Node(d.Src) == nil || n.Snap.Node(d.Dst) == nil {
-			return nil, fmt.Errorf("traffic: demand %s→%s references unknown node", d.Src, d.Dst)
+			return nil, nil, fmt.Errorf("traffic: demand %s→%s references unknown node", d.Src, d.Dst)
 		}
 		paths, err := routing.KShortestPaths(n.Snap, d.Src, d.Dst, cost, k)
 		if err != nil || len(paths) == 0 {
@@ -177,97 +296,41 @@ func MaxMinFair(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, err
 		nodes := paths[best].Nodes
 		alloc.Demands[i].Path = nodes
 		for h := 0; h+1 < len(nodes); h++ {
-			demandLinks[i] = append(demandLinks[i], LinkID{nodes[h], nodes[h+1]})
+			st.intern(i, LinkID{nodes[h], nodes[h+1]}, n)
 		}
 	}
-
-	eps := n.eps()
-	active := make([]bool, len(demands))
-	nActive := 0
 	for i := range alloc.Demands {
 		if alloc.Demands[i].Path != nil && alloc.Demands[i].OfferedBps > 0 {
-			active[i] = true
-			nActive++
+			st.active[i] = true
+			st.nActive++
+			for _, li := range st.demLinks[i] {
+				st.linkUsers[li]++
+			}
 		}
 	}
-	users := func(l LinkID) int {
-		c := 0
-		for i := range demands {
-			if !active[i] {
-				continue
-			}
-			for _, dl := range demandLinks[i] {
-				if dl == l {
-					c++
-					break
-				}
-			}
-		}
-		return c
+	return alloc, st, nil
+}
+
+// MaxMinFair computes a max-min fair rate allocation for the demands by
+// progressive filling: every unfrozen demand's rate rises at the same pace;
+// a demand freezes when it reaches its offered load or when a link on its
+// path saturates. The result has the max-min property — no demand's rate
+// can be raised without lowering the rate of a demand that has no more —
+// restricted to the single path each demand is assigned (the widest of its
+// k shortest).
+//
+// The computation is deterministic: demands are processed in input order,
+// links in sorted order, and path selection breaks ties toward the lower
+// Yen rank.
+func MaxMinFair(n *Network, demands []Demand, cfg AllocConfig) (*Allocation, error) {
+	alloc, st, err := prepareFill(n, demands, cfg)
+	if err != nil {
+		return nil, err
 	}
-	for nActive > 0 {
-		// The uniform rate increment until the first event: a link
-		// saturating or a demand reaching its offered load.
-		delta := math.Inf(1)
-		for i := range demands {
-			if active[i] {
-				if room := alloc.Demands[i].OfferedBps - alloc.Demands[i].RateBps; room < delta {
-					delta = room
-				}
-				for _, l := range demandLinks[i] {
-					if nu := users(l); nu > 0 {
-						if room := (n.caps[l] - alloc.linkLoad[l]) / float64(nu); room < delta {
-							delta = room
-						}
-					}
-				}
-			}
-		}
-		if delta < 0 {
-			delta = 0
-		}
-		for i := range demands {
-			if active[i] {
-				alloc.Demands[i].RateBps += delta
-				for _, l := range demandLinks[i] {
-					alloc.linkLoad[l] += delta
-				}
-			}
-		}
-		// Freeze demands at their offered load or behind a saturated link.
-		froze := false
-		for i := range demands {
-			if !active[i] {
-				continue
-			}
-			d := &alloc.Demands[i]
-			if d.RateBps >= d.OfferedBps-eps {
-				d.RateBps = d.OfferedBps
-				active[i] = false
-				nActive--
-				froze = true
-				continue
-			}
-			for _, l := range demandLinks[i] {
-				if alloc.linkLoad[l] >= n.caps[l]-eps {
-					d.Bottleneck = l
-					active[i] = false
-					nActive--
-					froze = true
-					break
-				}
-			}
-		}
-		if !froze {
-			// Float-tolerance stall: nothing crossed a threshold despite a
-			// minimal delta. Freeze everything at current rates to
-			// guarantee termination; the allocation stays feasible.
-			for i := range demands {
-				if active[i] {
-					active[i] = false
-					nActive--
-				}
-			}
+	st.run(alloc.Demands)
+	for j, l := range st.linkIDs {
+		if st.linkLoad[j] > 0 {
+			alloc.linkLoad[l] = st.linkLoad[j]
 		}
 	}
 	return alloc, nil
