@@ -38,21 +38,23 @@ type Evolver struct {
 
 	// Per-epoch scratch, sized once at construction and reused by every
 	// Advance so the realise/group/carry/deaggregate kernels allocate
-	// nothing in steady state (see TestAllocGateEvolverKernels). rng is a
-	// single scratch generator Reseed-ed per (aggregate, epoch) — the
-	// identical stream exec.RNG would construct, without the two heap
-	// objects per draw site.
-	rng        *rand.Rand
-	lit        []traffic.Gateway
-	cityGW     []string
-	poolT      []int64
-	poolB      []float64
-	oldT       []int64
-	served     []float64
-	delay      []pathDelay
-	entries    []groupEntry
-	groupStart []int32
-	demands    []traffic.Demand
+	// nothing in steady state (see TestAllocGateEvolverKernels). The
+	// //lint:scratch tags put every buffer under the scratchsafe escape
+	// check: nothing aliasing them may outlive the Advance that filled
+	// them. rng is a single scratch generator Reseed-ed per (aggregate,
+	// epoch) — the identical stream exec.RNG would construct, without the
+	// two heap objects per draw site.
+	rng        *rand.Rand        //lint:scratch
+	lit        []traffic.Gateway //lint:scratch
+	cityGW     []string          //lint:scratch
+	poolT      []int64           //lint:scratch
+	poolB      []float64         //lint:scratch
+	oldT       []int64           //lint:scratch
+	served     []float64         //lint:scratch
+	delay      []pathDelay       //lint:scratch
+	entries    []groupEntry      //lint:scratch
+	groupStart []int32           //lint:scratch
+	demands    []traffic.Demand  //lint:scratch
 }
 
 // Result accumulates ScenarioResult-compatible counters across epochs.

@@ -1,10 +1,15 @@
 // Package lint is a stdlib-only static-analysis driver that mechanically
-// enforces the repository's determinism contract: the same seed must
-// produce byte-identical experiment output at any worker count. Four
-// analyzers cover the bug classes that historically break that contract —
-// wall-clock reads and process-global randomness (nondeterm), emission in
-// map iteration order (maporder), silently dropped writer errors
-// (errdrop), and exact floating-point comparison (floateq).
+// enforces the repository's correctness contracts: the same seed must
+// produce byte-identical experiment output at any worker count, hot
+// kernels must not allocate, and neither of those disciplines may
+// introduce aliasing or sharing bugs of its own. Eight analyzers cover
+// the bug classes that historically break the contracts — wall-clock
+// reads and process-global randomness (nondeterm), emission in map
+// iteration order (maporder), silently dropped writer errors (errdrop),
+// exact floating-point comparison (floateq), allocation in //lint:hotpath
+// kernels (hotalloc), untagged or colliding RNG streams (seeddomain),
+// scratch buffers escaping their owner (scratchsafe), and non-disjoint
+// writes from pool-task closures (poolshare).
 //
 // Intentional exceptions are annotated in source:
 //
@@ -35,10 +40,10 @@ type Analyzer struct {
 }
 
 // Analyzers is the suite in reporting order. Each call returns fresh
-// instances: the flow-aware analyzers (hotalloc's hot-function set,
-// seeddomain's repo-wide domain registry) accumulate state across the
-// packages of one RunAnalyzers call, so analyzer values must not be
-// shared between runs.
+// instances: the flow-aware analyzers (hotalloc's and scratchsafe's
+// hot-function sets, seeddomain's repo-wide domain registry) accumulate
+// state across the packages of one RunAnalyzers call, so analyzer values
+// must not be shared between runs.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		nondetermAnalyzer(),
@@ -47,7 +52,51 @@ func Analyzers() []*Analyzer {
 		floateqAnalyzer(),
 		hotallocAnalyzer(),
 		seeddomainAnalyzer(),
+		scratchsafeAnalyzer(),
+		poolshareAnalyzer(),
 	}
+}
+
+// Select resolves a comma-separated analyzer subset against the full
+// suite, preserving suite order. An empty spec selects everything; an
+// unknown name is an error so a typo in CI cannot silently skip a check.
+func Select(spec string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("lint: unknown analyzer(s) %s (known: %s)", strings.Join(unknown, ", "), strings.Join(analyzerNames(all), ", "))
+	}
+	return out, nil
+}
+
+func analyzerNames(as []*Analyzer) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // A Diagnostic is one finding at a position.
@@ -139,13 +188,23 @@ func directives(fset *token.FileSet, pkg *Package, known map[string]bool, diags 
 	return out
 }
 
-// RunAnalyzers runs the suite over every root package and returns findings
-// sorted by position, with //lint:allow suppressions applied and stale
-// directives — ones that no longer suppress anything — reported.
+// RunAnalyzers runs the given analyzers over every root package and
+// returns findings sorted by position, with //lint:allow suppressions
+// applied and stale directives — ones that no longer suppress anything —
+// reported. Directive validation is subset-aware: a directive naming any
+// analyzer of the full suite is well-formed even when that analyzer is
+// not in this run, and staleness is only judged for analyzers that
+// actually ran (a subset run cannot tell whether a skipped analyzer's
+// directive still earns its keep).
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -171,7 +230,7 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) [
 			diags = append(diags, d)
 		}
 		for _, d := range dirs {
-			if !d.used {
+			if !d.used && ran[d.analyzer] {
 				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "directive",
 					Message: fmt.Sprintf("stale //lint:allow %s: no %s finding on this line or the next; delete the directive", d.analyzer, d.analyzer)})
 			}
@@ -214,6 +273,13 @@ type jsonDiagnostic struct {
 // or JSON lines when jsonOut is set. Exit codes are identical either way
 // (0 clean, 1 findings, 2 load failure).
 func Run(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	return RunSelected(dir, patterns, jsonOut, Analyzers(), stdout, stderr)
+}
+
+// RunSelected is Run restricted to the given analyzers — the engine
+// behind the CLI's -analyzers subset flag. Exit codes are unchanged from
+// the full run (0 clean, 1 findings, 2 load failure).
+func RunSelected(dir string, patterns []string, jsonOut bool, analyzers []*Analyzer, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -223,7 +289,7 @@ func Run(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) 
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	diags := RunAnalyzers(fset, pkgs, Analyzers())
+	diags := RunAnalyzers(fset, pkgs, analyzers)
 	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		if jsonOut {

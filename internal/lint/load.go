@@ -258,6 +258,107 @@ func staticCallees(site declSite, dst []*types.Func) []*types.Func {
 	return dst
 }
 
+// scratchMarker is the annotation that declares a struct field to be
+// owner-scoped scratch memory:
+//
+//	type evolver struct {
+//		entries []entry //lint:scratch
+//	}
+//
+// Scratch is storage the owner overwrites wholesale on its next kernel
+// invocation, so nothing aliasing it may outlive the call that filled it.
+// The scratchsafe analyzer enforces that contract on every method of the
+// declaring type and on every //lint:hotpath function.
+const scratchMarker = "//lint:scratch"
+
+// scratchIndex is the repo-wide view of the //lint:scratch annotations:
+// the tagged field objects, and the named types that carry at least one
+// of them (whose methods all inherit the scratchsafe check).
+type scratchIndex struct {
+	fields map[*types.Var]bool
+	owners map[*types.TypeName]bool
+}
+
+// scratchFields indexes every //lint:scratch-tagged struct field across
+// the loaded packages. The marker is read from the field's doc comment or
+// trailing line comment, so it works both above and beside the field.
+func scratchFields(pkgs []*Package) *scratchIndex {
+	idx := &scratchIndex{fields: map[*types.Var]bool{}, owners: map[*types.TypeName]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				owner, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+				for _, field := range st.Fields.List {
+					if !hasScratchMarker(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							idx.fields[v] = true
+							if owner != nil {
+								idx.owners[owner] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// hasScratchMarker reports whether the field's doc or trailing comment
+// carries //lint:scratch.
+func hasScratchMarker(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), scratchMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// receiverVar returns the declaration's receiver variable object, or nil
+// for plain functions and anonymous receivers.
+func receiverVar(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// receiverTypeName resolves the named type a method declaration hangs off,
+// unwrapping one level of pointer, or nil for plain functions.
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
 // checkPackage parses and type-checks one package's non-test files.
 func checkPackage(fset *token.FileSet, imp types.Importer, meta *listedPackage) (*Package, error) {
 	var files []*ast.File

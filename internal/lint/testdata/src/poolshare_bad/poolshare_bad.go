@@ -1,0 +1,29 @@
+// Package poolshare_bad is the negative fixture for the poolshare
+// analyzer: an exec.Map sweep whose task closure writes captured state
+// every way the analyzer forbids. CI asserts the suite fails on this
+// package. The code compiles and would even pass a lucky race-detector
+// run — which is exactly why the static check exists.
+package poolshare_bad
+
+import (
+	"math/rand"
+
+	"github.com/openspace-project/openspace/internal/exec"
+)
+
+// Sweep fans n trials over the pool and shares everything it shouldn't.
+func Sweep(workers, n int, rng *rand.Rand) ([]float64, error) {
+	sum := 0.0
+	hits := map[int]int{}
+	var samples []float64
+	out := make([]float64, n+1)
+	return exec.Map(workers, n, func(i int) (float64, error) {
+		v := rng.Float64()           // captured generator: one stream, many workers
+		sum += v                     // plain captured write
+		hits[i] = 1                  // map write: never index-disjoint
+		samples = append(samples, v) // append into shared backing storage
+		out[i+1] = v                 // derived index: not provably disjoint
+		out[i] = v                   // the one legal shape, for contrast
+		return v, nil
+	})
+}

@@ -1,0 +1,16 @@
+// Package staleallow_bad is the negative fixture for stale-directive
+// detection: a //lint:allow that no longer suppresses anything must
+// itself be a finding, or silenced exceptions would outlive the code
+// that excused them. CI asserts the suite fails on this package.
+package staleallow_bad
+
+// Total sums its inputs; there has been no nondeterm finding here since
+// the wall-clock read it once excused was deleted.
+func Total(vs []int) int {
+	//lint:allow nondeterm wall time was read here once, long ago
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

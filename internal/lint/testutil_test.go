@@ -58,6 +58,24 @@ func RNG(base int64, coords ...int64) *rand.Rand { return rand.New(rand.NewSourc
 func DomainRNG(base int64, d Domain, coords ...int64) *rand.Rand { return rand.New(rand.NewSource(DomainSeed(base, d, coords...))) }
 func Reseed(rng *rand.Rand, base int64, coords ...int64) { rng.Seed(Seed(base, coords...)) }
 func ScratchRNG() *rand.Rand { return rand.New(rand.NewSource(0)) }
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if out[i], err = fn(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+func ForEach(workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 `,
 }
 
@@ -70,11 +88,11 @@ func runFixture(t *testing.T, analyzers []*Analyzer, pkgs ...fixturePkg) {
 	runFixtureRoots(t, analyzers, 1, pkgs...)
 }
 
-// runFixtureRoots is runFixture for the flow-aware analyzers: the last
-// `roots` packages are analyzed (earlier ones load as dependencies, so
-// cross-package call graphs and domain registries see them), and want
-// comments are checked across every analyzed package.
-func runFixtureRoots(t *testing.T, analyzers []*Analyzer, roots int, pkgs ...fixturePkg) {
+// typecheckFixtures parses and type-checks the fixture packages in order
+// (earlier packages import into later ones), marking the last `roots` of
+// them as analysis roots. Call-graph tests use the result directly;
+// runFixtureRoots layers analyzer execution and want-matching on top.
+func typecheckFixtures(t *testing.T, roots int, pkgs ...fixturePkg) []*Package {
 	t.Helper()
 	li := &loaderImporter{module: Module, cache: map[string]*types.Package{}, std: testStdImporter()}
 
@@ -99,7 +117,16 @@ func runFixtureRoots(t *testing.T, analyzers []*Analyzer, roots int, pkgs ...fix
 		li.cache[fp.path] = tpkg
 		all = append(all, &Package{PkgPath: fp.path, Files: []*ast.File{f}, Types: tpkg, Info: info, Root: i >= len(pkgs)-roots})
 	}
+	return all
+}
 
+// runFixtureRoots is runFixture for the flow-aware analyzers: the last
+// `roots` packages are analyzed (earlier ones load as dependencies, so
+// cross-package call graphs and domain registries see them), and want
+// comments are checked across every analyzed package.
+func runFixtureRoots(t *testing.T, analyzers []*Analyzer, roots int, pkgs ...fixturePkg) {
+	t.Helper()
+	all := typecheckFixtures(t, roots, pkgs...)
 	got := RunAnalyzers(testFset, all, analyzers)
 	for _, pkg := range all {
 		if !pkg.Root {

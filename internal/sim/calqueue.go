@@ -21,7 +21,9 @@ import "math"
 // calqueue_test.go pin dequeue-order equality against the retired heap
 // implementation (heapqueue.go) under random schedules.
 type calQueue struct {
-	buckets [][]event
+	// buckets is owner-scoped storage rewritten in place by push/pop;
+	// nothing aliasing a bucket may leave the queue (scratchsafe).
+	buckets [][]event //lint:scratch
 	// width is the time span one bucket slice covers. Slice k covers
 	// [k*width, (k+1)*width) and hashes to bucket k mod len(buckets);
 	// membership tests recompute k = floor(atS/width) rather than

@@ -26,12 +26,14 @@ func TestAllocGateFeasibleISLs(t *testing.T) {
 	if b.staticMode {
 		cands = b.staticPairs
 	}
-	nWarm := len(b.feasibleISLs(cands))
+	b.feasibleISLs(cands)
+	nWarm := len(b.feasible)
 	if nWarm == 0 {
 		t.Fatal("fixture produced no feasible ISL pairs; gate would be vacuous")
 	}
 	run := func() {
-		if got := len(b.feasibleISLs(cands)); got != nWarm {
+		b.feasibleISLs(cands)
+		if got := len(b.feasible); got != nWarm {
 			t.Fatalf("feasible set size changed across runs: %d → %d", nWarm, got)
 		}
 	}

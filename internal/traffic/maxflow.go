@@ -51,10 +51,11 @@ type dinicGraph struct {
 	adj   [][]arc
 	eps   float64
 	// Scratch reused across phases and solves: the steady-state kernel
-	// (solve/levels/augment) must not allocate (see TestAllocGateDinic).
-	level []int32
-	queue []int32
-	iter  []int32
+	// (solve/levels/augment) must not allocate (see TestAllocGateDinic)
+	// and nothing aliasing these may leave the receiver (scratchsafe).
+	level []int32 //lint:scratch
+	queue []int32 //lint:scratch
+	iter  []int32 //lint:scratch
 }
 
 func newDinicGraph(n *Network) *dinicGraph {

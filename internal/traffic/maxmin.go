@@ -133,13 +133,13 @@ func (a *Allocation) MaxUtilization() (LinkID, float64) {
 // (see TestAllocGateMaxMinFill).
 type fillState struct {
 	eps       float64
-	linkIdx   map[LinkID]int32
-	linkIDs   []LinkID
-	linkCap   []float64
-	linkLoad  []float64
-	linkUsers []int32   // active demands per link, decremented on freeze
-	demLinks  [][]int32 // interned link indices per demand, path order
-	active    []bool
+	linkIdx   map[LinkID]int32 //lint:scratch
+	linkIDs   []LinkID         //lint:scratch
+	linkCap   []float64        //lint:scratch
+	linkLoad  []float64        //lint:scratch
+	linkUsers []int32          //lint:scratch — active demands per link, decremented on freeze
+	demLinks  [][]int32        //lint:scratch — interned link indices per demand, path order
+	active    []bool           //lint:scratch
 	nActive   int
 }
 
