@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"github.com/openspace-project/openspace/internal/campaign"
 	"github.com/openspace-project/openspace/internal/experiments"
 	"github.com/openspace-project/openspace/internal/geo"
 )
@@ -194,6 +195,15 @@ var experimentTable = []entry{
 		}
 		cfg.Workers = workers
 		return experiments.UsersScale(cfg)
+	}},
+	{"disruption-campaign", func(quick bool, workers int) (renderer, error) {
+		cfg := experiments.DefaultDisruption()
+		if quick {
+			// The 8-cell CI determinism matrix.
+			cfg.Spec = campaign.QuickSpec()
+		}
+		cfg.Workers = workers
+		return experiments.Disruption(cfg)
 	}},
 	{"availability-scale", func(quick bool, workers int) (renderer, error) {
 		cfg := experiments.DefaultAvailabilityScale()

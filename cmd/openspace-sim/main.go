@@ -8,14 +8,19 @@
 //
 //	openspace-sim -providers 3 -users 12 -transfers 200 -duration 600
 //	openspace-sim -aggregate -users 1000000 -duration 600
+//	openspace-sim -campaign -quick -csv out.csv -checkpoint run.ckpt
+//	openspace-sim -campaign -cell "iridium~i4~iot~dtn"
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"strings"
 
+	"github.com/openspace-project/openspace/internal/campaign"
 	"github.com/openspace-project/openspace/internal/core"
 	"github.com/openspace-project/openspace/internal/economics"
 	"github.com/openspace-project/openspace/internal/faults"
@@ -41,8 +46,31 @@ func main() {
 	capacity := flag.Bool("capacity", false, "print a traffic-engineering report (demand matrix, max-min fair allocation, bottleneck) instead of running transfers")
 	faultsMode := flag.Bool("faults", false, "inject deterministic faults (satellite failures, ISL flaps, weather, storms) and report per-flow availability, reroutes and scenario robustness")
 	intensity := flag.Float64("intensity", 1, "fault-rate multiplier for -faults (0 disables injection)")
+	campaignMode := flag.Bool("campaign", false, "run the E17 disrupted-communications campaign matrix (supervised cells, retry, failure manifest)")
+	quick := flag.Bool("quick", false, "with -campaign: the 8-cell quick matrix instead of the full 54-cell one")
+	cellID := flag.String("cell", "", "with -campaign: run this single cell by ID and print its canonical metrics row")
+	checkpoint := flag.String("checkpoint", "", "with -campaign: stream per-cell records to this file as cells complete")
+	resume := flag.Bool("resume", false, "with -campaign: load -checkpoint, skip recorded cells, and replay their rows verbatim")
+	stopAfter := flag.Int("stop-after", 0, "with -campaign: stop after N pending cells, leaving the rest for -resume (interruption stand-in)")
+	keepGoing := flag.Bool("keep-going", false, "with -campaign: exit 0 even when cells fail (failures still land in the manifest)")
+	injectPanic := flag.String("inject-panic", "", "with -campaign: cell ID whose run panics — a test hook for supervisor containment")
+	csvPath := flag.String("csv", "", "with -campaign: write the results CSV here")
+	manifestPath := flag.String("manifest", "", "with -campaign: write the failure manifest here")
 	flag.Parse()
 
+	if *campaignMode || *cellID != "" {
+		err := runCampaign(campaignOptions{
+			quick: *quick, workers: *workers, cellID: *cellID,
+			checkpoint: *checkpoint, resume: *resume, stopAfter: *stopAfter,
+			keepGoing: *keepGoing, injectPanic: *injectPanic,
+			csvPath: *csvPath, manifestPath: *manifestPath,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "openspace-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *aggregate {
 		var fcfg faults.Config
 		if *faultsMode {
@@ -280,6 +308,100 @@ func runCapacity(providers, users int, seed int64, workers int) error {
 	}
 	fmt.Printf("max flow %s → %s: %.2f Gbps across a %d-link min cut\n",
 		top.Src, top.Dst, mf.ValueBps/1e9, len(mf.MinCut))
+	return nil
+}
+
+// campaignOptions carries the -campaign flag group.
+type campaignOptions struct {
+	quick        bool
+	workers      int
+	cellID       string
+	checkpoint   string
+	resume       bool
+	stopAfter    int
+	keepGoing    bool
+	injectPanic  string
+	csvPath      string
+	manifestPath string
+}
+
+// writeFileVia writes one campaign artifact through the given writer
+// function, to a file when path is set or to stdout otherwise.
+func writeFileVia(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close() //lint:allow errdrop the write error above is the primary failure
+		return err
+	}
+	return f.Close()
+}
+
+// runCampaign drives the E17 campaign: expand the matrix, supervise
+// every cell (panic containment, event budget, bounded retry), degrade
+// failures into manifest rows, and honour checkpoint/resume. With
+// -cell it runs one cell inline and prints its canonical row instead.
+func runCampaign(opts campaignOptions) error {
+	spec := campaign.DefaultSpec()
+	if opts.quick {
+		spec = campaign.QuickSpec()
+	}
+	if opts.cellID != "" {
+		c, ok := spec.Find(opts.cellID)
+		if !ok {
+			return fmt.Errorf("campaign: no cell %q in the %s matrix", opts.cellID, spec.Name)
+		}
+		m, err := campaign.RunCell(spec, c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n%s,%s\n", strings.Join(campaign.MetricFields, ","), c.ID, m.Row())
+		return nil
+	}
+
+	fn := campaign.CellRunner(spec)
+	if opts.injectPanic != "" {
+		if _, ok := spec.Find(opts.injectPanic); !ok {
+			return fmt.Errorf("campaign: -inject-panic cell %q is not in the %s matrix", opts.injectPanic, spec.Name)
+		}
+		inner := fn
+		fn = func(c campaign.Cell) (campaign.Metrics, error) {
+			if c.ID == opts.injectPanic {
+				panic("injected test panic in cell " + c.ID)
+			}
+			return inner(c)
+		}
+	}
+
+	cfg := campaign.DefaultConfig()
+	cfg.Workers = opts.workers
+	cfg.CheckpointPath = opts.checkpoint
+	cfg.Resume = opts.resume
+	cfg.StopAfter = opts.stopAfter
+	out, err := campaign.Run(spec, cfg, fn)
+	if err != nil {
+		return err
+	}
+
+	fails := out.Failures()
+	fmt.Fprintf(os.Stderr, "campaign %s: %d/%d cells complete, %d failed\n",
+		spec.Name, len(out.Cells), len(out.Cells)+len(out.Pending), len(fails))
+	if err := writeFileVia(opts.csvPath, out.WriteCSV); err != nil {
+		return err
+	}
+	if opts.manifestPath != "" || len(fails) > 0 {
+		if err := writeFileVia(opts.manifestPath, out.WriteManifest); err != nil {
+			return err
+		}
+	}
+	if len(fails) > 0 && !opts.keepGoing {
+		return fmt.Errorf("campaign: %d cells failed (see manifest); -keep-going to exit 0 anyway", len(fails))
+	}
 	return nil
 }
 

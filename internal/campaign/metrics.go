@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/openspace-project/openspace/internal/core"
+)
+
+// Metrics is one cell's measured outcome, identical in meaning across
+// the per-flow and fluid simulation paths (the residual modelling
+// differences are documented in EXPERIMENTS.md §E17).
+type Metrics struct {
+	// Availability is 1 − abandoned/attempted: the fraction of offered
+	// transfers the network eventually carried despite faults. 1 when
+	// nothing was attempted.
+	Availability float64
+	// DeliveryRatio is delivered/attempted within the horizon — unlike
+	// Availability it also counts transfers still pending at the end.
+	DeliveryRatio float64
+	// P50Ms/P95Ms are delivered-transfer latency quantiles in ms.
+	P50Ms, P95Ms float64
+	Attempted    int64
+	Delivered    int64
+	Retries      int64
+	Abandoned    int64
+	// Interrupted counts in-flight disruption events: dropped terminals
+	// on the per-flow path, gateway-remap interruptions on the fluid one.
+	Interrupted int64
+	FaultEvents int64
+	// Events is the engine's delivered-event count — what the cell spent
+	// of its budget.
+	Events uint64
+}
+
+// MetricFields names the metric columns, in the order fields() emits
+// them; campaign CSV writers append them after the identity columns.
+var MetricFields = []string{
+	"availability", "delivery_ratio", "p50_ms", "p95_ms",
+	"attempted", "delivered", "retries", "abandoned",
+	"interrupted", "fault_events", "events",
+}
+
+// fm formats one float metric: compact, locale-free, round-trip-stable —
+// the same "%.6g" every experiment CSV uses.
+func fm(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// Row renders the canonical comma-joined metric row (MetricFields
+// order). The checkpoint stores this string verbatim and resume replays
+// it verbatim, which is what makes an interrupted+resumed campaign
+// byte-identical to a straight-through one; -cell prints it so a single
+// re-run reproduces the full campaign's row exactly.
+func (m Metrics) Row() string {
+	return strings.Join([]string{
+		fm(m.Availability), fm(m.DeliveryRatio), fm(m.P50Ms), fm(m.P95Ms),
+		fmt.Sprintf("%d", m.Attempted), fmt.Sprintf("%d", m.Delivered),
+		fmt.Sprintf("%d", m.Retries), fmt.Sprintf("%d", m.Abandoned),
+		fmt.Sprintf("%d", m.Interrupted), fmt.Sprintf("%d", m.FaultEvents),
+		fmt.Sprintf("%d", m.Events),
+	}, ",")
+}
+
+// MetricsOf reduces a scenario result to the campaign's cell metrics,
+// reading the latency distribution from whichever path produced it.
+func MetricsOf(res *core.ScenarioResult) Metrics {
+	m := Metrics{
+		Attempted:     int64(res.TransfersAttempted),
+		Delivered:     int64(res.TransfersDelivered),
+		Retries:       int64(res.Retries),
+		Abandoned:     int64(res.AbandonedTransfers),
+		Interrupted:   int64(res.DroppedTerminals),
+		FaultEvents:   int64(res.FaultEvents),
+		Events:        res.EventsProcessed,
+		Availability:  1,
+		DeliveryRatio: 1,
+	}
+	if m.Attempted > 0 {
+		m.Availability = 1 - float64(m.Abandoned)/float64(m.Attempted)
+		m.DeliveryRatio = float64(m.Delivered) / float64(m.Attempted)
+	}
+	if res.Fluid != nil {
+		m.P50Ms = res.Fluid.Latency.Quantile(0.5) * 1000
+		m.P95Ms = res.Fluid.Latency.Quantile(0.95) * 1000
+	} else {
+		m.P50Ms = res.LatencyS.Quantile(0.5) * 1000
+		m.P95Ms = res.LatencyS.Quantile(0.95) * 1000
+	}
+	return m
+}

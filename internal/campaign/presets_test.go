@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/core"
+)
+
+// tinySpec is a real-simulation matrix small enough for unit tests: two
+// iridium cells, short horizon.
+func tinySpec() Spec {
+	return Spec{
+		Name:           "tiny",
+		Constellations: []string{ConstellationIridium},
+		Intensities:    []float64{0, 4},
+		Workloads:      []string{WorkloadInteractive},
+		Policies:       []core.Policy{core.PolicyOnDemand},
+		DurationS:      300,
+		IntervalS:      60,
+		Seed:           17,
+	}
+}
+
+func TestRunCellRealSimulation(t *testing.T) {
+	spec := tinySpec()
+	cells := spec.Cells()
+	m, err := RunCell(spec, cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attempted == 0 || m.Events == 0 {
+		t.Errorf("fault-free cell produced no traffic: %+v", m)
+	}
+	if m.Availability != 1 {
+		t.Errorf("fault-free availability = %v, want 1", m.Availability)
+	}
+	again, err := RunCell(spec, cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != again {
+		t.Errorf("cell re-run diverged:\n%+v\nvs\n%+v", m, again)
+	}
+	faulty, err := RunCell(spec, cells[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultEvents == 0 {
+		t.Errorf("intensity-4 cell saw no fault events: %+v", faulty)
+	}
+}
+
+func TestRunCellDeterministicAcrossWorkers(t *testing.T) {
+	spec := tinySpec()
+	serial := runToCSV(t, spec, Config{Workers: 1}, CellRunner(spec))
+	parallel := runToCSV(t, spec, Config{Workers: 4}, CellRunner(spec))
+	if serial != parallel {
+		t.Errorf("real-cell CSV differs across worker counts:\n%s\nvs\n%s", serial, parallel)
+	}
+}
+
+func TestRunCellEventBudgetSurfacesSentinel(t *testing.T) {
+	spec := tinySpec()
+	spec.EventBudget = 10
+	_, err := RunCell(spec, spec.Cells()[0])
+	if !errors.Is(err, core.ErrEventBudget) {
+		t.Fatalf("tiny budget error = %v, want ErrEventBudget", err)
+	}
+}
+
+func TestRunCellFluidWorkloads(t *testing.T) {
+	spec := tinySpec()
+	spec.Workloads = []string{WorkloadIoT}
+	spec.Constellations = []string{ConstellationWalker}
+	spec.Policies = []core.Policy{core.PolicyDTN}
+	m, err := RunCell(spec, spec.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Attempted == 0 || m.Delivered == 0 {
+		t.Errorf("IoT cell on walker carried nothing: %+v", m)
+	}
+}
+
+func TestDefaultAndQuickSpecsValid(t *testing.T) {
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Errorf("DefaultSpec: %v", err)
+	}
+	if err := QuickSpec().Validate(); err != nil {
+		t.Errorf("QuickSpec: %v", err)
+	}
+	if n := len(DefaultSpec().Cells()); n != 54 {
+		t.Errorf("DefaultSpec cells = %d, want 54", n)
+	}
+	if n := len(QuickSpec().Cells()); n != 8 {
+		t.Errorf("QuickSpec cells = %d, want 8", n)
+	}
+	// Both share name and base seed, so the cells QuickSpec covers carry
+	// the same seeds as their full-matrix counterparts.
+	dq, df := QuickSpec(), DefaultSpec()
+	for _, c := range dq.Cells() {
+		if fc, ok := df.Find(c.ID); !ok {
+			t.Errorf("quick cell %s not in the default matrix", c.ID)
+		} else if fc.Seed != c.Seed {
+			t.Errorf("quick cell %s seed differs from default matrix", c.ID)
+		}
+	}
+	if strings.Contains(DefaultSpec().Fingerprint(), "\t") {
+		t.Error("fingerprint must be tab-free for the checkpoint header")
+	}
+}

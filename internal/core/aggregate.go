@@ -41,6 +41,7 @@ func (n *Network) runAggregateScenario(sc Scenario) (*ScenarioResult, error) {
 	}
 
 	engine := sim.NewEngine()
+	engine.MaxEvents = sc.MaxEvents
 	res := &ScenarioResult{}
 	if sc.Faults.Enabled() {
 		tl, err := faults.Generate(sc.Faults, sc.DurationS, faults.InputsFromSnapshot(n.te.At(0)))
@@ -53,6 +54,10 @@ func (n *Network) runAggregateScenario(sc Scenario) (*ScenarioResult, error) {
 			if err := n.ApplyFaultMask(mask); err != nil {
 				panic(err) // unreachable: topology was built above
 			}
+			// Epochs while any element is masked charge gateway-remapping
+			// events to the fluid interruption counter (the aggregate-mode
+			// analogue of dropping a terminal when its satellite dies).
+			ev.SetFaultsActive(!mask.Empty())
 		}
 		if err := tl.Drive(engine, mask, onChange); err != nil {
 			return nil, err
@@ -97,6 +102,9 @@ func (n *Network) runAggregateScenario(sc Scenario) (*ScenarioResult, error) {
 	if evolveErr != nil {
 		return nil, fmt.Errorf("core: aggregate scenario: %w", evolveErr)
 	}
+	if engine.Exhausted() {
+		return nil, fmt.Errorf("core: aggregate scenario stopped after %d events: %w", engine.Processed, ErrEventBudget)
+	}
 
 	fr := ev.Result()
 	res.TransfersAttempted = int(fr.TransfersAttempted)
@@ -105,6 +113,12 @@ func (n *Network) runAggregateScenario(sc Scenario) (*ScenarioResult, error) {
 	res.Retries = int(fr.Retries)
 	res.RecoveredTransfers = int(fr.Recovered)
 	res.AbandonedTransfers = int(fr.Abandoned)
+	// Fluid interruption events fill the per-flow DroppedTerminals slot:
+	// both count in-flight traffic whose serving infrastructure a fault
+	// yanked away, so E17 cells report comparable availability in either
+	// mode (the residual reroute-modelling difference is documented in
+	// EXPERIMENTS.md).
+	res.DroppedTerminals = int(fr.Interrupted)
 	res.EventsProcessed = engine.Processed
 	res.Fluid = fr
 	return res, nil

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/fluid"
+	"github.com/openspace-project/openspace/internal/routing"
+)
+
+// Policy names a routing/recovery posture a scenario can run under. The
+// three postures mirror the disrupted-communications literature: on-demand
+// recovers reactively with little path diversity, proactive spreads load
+// over precomputed alternatives and retries aggressively on short
+// timescales, and DTN tolerates long disruptions by holding traffic far
+// longer before abandoning it (store-and-forward patience rather than a
+// custody-transfer protocol — the residual difference is documented in
+// EXPERIMENTS.md).
+type Policy string
+
+const (
+	// PolicyOnDemand recovers reactively: single path, default backoff,
+	// little patience for backlog.
+	PolicyOnDemand Policy = "ondemand"
+	// PolicyProactive spreads load over precomputed path diversity and
+	// retries on short timescales.
+	PolicyProactive Policy = "proactive"
+	// PolicyDTN holds disrupted traffic with long, widely spaced retries,
+	// trading latency for delivery under extended outages.
+	PolicyDTN Policy = "dtn"
+)
+
+// Policies returns the known postures in their canonical axis order.
+func Policies() []Policy { return []Policy{PolicyOnDemand, PolicyProactive, PolicyDTN} }
+
+// ParsePolicy maps an axis-value string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyOnDemand, PolicyProactive, PolicyDTN:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("core: unknown routing policy %q (want ondemand, proactive, or dtn)", s)
+}
+
+// policyParams is the per-posture tuning WithPolicy applies. Retry shapes
+// the per-flow retry loop; kPaths/maxRetryEpochs shape the fluid
+// allocator's diversity and backlog patience (ignored on the per-flow
+// path, where the planner's own path choice applies).
+type policyParams struct {
+	retry          routing.Backoff
+	kPaths         int
+	maxRetryEpochs int
+}
+
+func (p Policy) params() (policyParams, error) {
+	switch p {
+	case PolicyOnDemand:
+		return policyParams{retry: routing.DefaultBackoff(), kPaths: 1, maxRetryEpochs: 2}, nil
+	case PolicyProactive:
+		return policyParams{retry: routing.Backoff{BaseS: 1, MaxS: 8, MaxAttempts: 6}, kPaths: 4, maxRetryEpochs: 3}, nil
+	case PolicyDTN:
+		return policyParams{retry: routing.Backoff{BaseS: 4, MaxS: 120, MaxAttempts: 10}, kPaths: 2, maxRetryEpochs: 8}, nil
+	}
+	return policyParams{}, fmt.Errorf("core: unknown routing policy %q", string(p))
+}
+
+// WithPolicy returns the scenario tuned to a routing posture: the retry
+// backoff always, plus the fluid allocator's path diversity and backlog
+// patience when the scenario is in aggregate mode. Apply it after
+// WithAggregateWorkload so the aggregate knobs land on the final config.
+func (s Scenario) WithPolicy(p Policy) (Scenario, error) {
+	params, err := p.params()
+	if err != nil {
+		return s, err
+	}
+	s.Retry = params.retry
+	if s.Aggregate.Enabled() {
+		s.Aggregate.KPaths = params.kPaths
+		s.Aggregate.MaxRetryEpochs = params.maxRetryEpochs
+	}
+	return s, nil
+}
+
+// WithFaults returns the scenario with the base fault environment scaled
+// to the given intensity and re-rooted on seed, so each campaign cell
+// draws an independent fault timeline. Intensity ≤ 0 disables injection
+// (the zero-value Config path).
+func (s Scenario) WithFaults(base faults.Config, intensity float64, seed int64) Scenario {
+	cfg := base.Scale(intensity)
+	cfg.Seed = seed
+	s.Faults = cfg
+	return s
+}
+
+// WithAggregateWorkload returns the scenario switched to fluid mode with
+// the given population and traffic mix (nil classes means
+// fluid.DefaultClasses). The aggregate seed is left zero so it falls back
+// to Scenario.Seed, keeping one seed per cell authoritative.
+func (s Scenario) WithAggregateWorkload(users int, classes []fluid.Class) Scenario {
+	s.Aggregate.Users = users
+	s.Aggregate.Classes = classes
+	return s
+}
+
+// WithEventBudget returns the scenario bounded to n simulated events —
+// the deterministic timeout the campaign supervisor imposes per cell.
+func (s Scenario) WithEventBudget(n uint64) Scenario {
+	s.MaxEvents = n
+	return s
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/openspace-project/openspace/internal/faults"
+	"github.com/openspace-project/openspace/internal/routing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(string(p))
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %q, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("flooding"); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := ParsePolicy(""); err == nil {
+		t.Error("empty policy should fail")
+	}
+}
+
+func TestWithPolicyPerFlow(t *testing.T) {
+	sc, err := Scenario{DurationS: 10}.WithPolicy(PolicyDTN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Retry == (routing.Backoff{}) || sc.Retry == routing.DefaultBackoff() {
+		t.Errorf("DTN retry %+v should differ from zero and default", sc.Retry)
+	}
+	if sc.Aggregate.Enabled() {
+		t.Error("per-flow scenario must not gain aggregate config")
+	}
+	if _, err := (Scenario{}).WithPolicy(Policy("bogus")); err == nil {
+		t.Error("bogus policy should fail")
+	}
+}
+
+func TestWithPolicyAggregate(t *testing.T) {
+	base := Scenario{DurationS: 10}.WithAggregateWorkload(1000, nil)
+	want := map[Policy][2]int{
+		PolicyOnDemand:  {1, 2},
+		PolicyProactive: {4, 3},
+		PolicyDTN:       {2, 8},
+	}
+	for p, kp := range want {
+		sc, err := base.WithPolicy(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if sc.Aggregate.KPaths != kp[0] || sc.Aggregate.MaxRetryEpochs != kp[1] {
+			t.Errorf("%s: KPaths=%d MaxRetryEpochs=%d, want %d/%d",
+				p, sc.Aggregate.KPaths, sc.Aggregate.MaxRetryEpochs, kp[0], kp[1])
+		}
+	}
+}
+
+func TestWithFaults(t *testing.T) {
+	sc := Scenario{}.WithFaults(faults.Default(), 2, 99)
+	if !sc.Faults.Enabled() {
+		t.Fatal("intensity 2 should enable faults")
+	}
+	if sc.Faults.Seed != 99 {
+		t.Errorf("seed = %d, want 99", sc.Faults.Seed)
+	}
+	if sc.Faults.SatMTBFS != faults.Default().SatMTBFS/2 {
+		t.Errorf("SatMTBFS = %v, want halved", sc.Faults.SatMTBFS)
+	}
+	if off := (Scenario{}).WithFaults(faults.Default(), 0, 99); off.Faults.Enabled() {
+		t.Error("intensity 0 should disable faults")
+	}
+}
+
+func TestWithEventBudget(t *testing.T) {
+	sc := Scenario{}.WithEventBudget(500)
+	if sc.MaxEvents != 500 {
+		t.Errorf("MaxEvents = %d", sc.MaxEvents)
+	}
+}

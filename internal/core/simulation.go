@@ -46,7 +46,21 @@ type Scenario struct {
 	// are unused (traffic originates at cities, not modelled terminals),
 	// and Aggregate.Seed falls back to Seed when zero.
 	Aggregate fluid.Config
+	// MaxEvents, when non-zero, bounds the number of engine events the run
+	// may deliver — a deterministic, wall-clock-free timeout. A run that
+	// exhausts the budget returns an error wrapping ErrEventBudget; the
+	// zero value leaves runs unbounded and byte-identical to scenarios
+	// that predate this field.
+	MaxEvents uint64
 }
+
+// ErrEventBudget marks a scenario that stopped because it exhausted its
+// MaxEvents budget. Because the budget counts simulated events — never
+// wall-clock — exhaustion is reproducible: the same scenario exhausts the
+// same budget at the same event on every machine. Callers distinguish it
+// with errors.Is; the campaign supervisor treats it as a non-retryable
+// timeout (re-running a deterministic run re-exhausts deterministically).
+var ErrEventBudget = errors.New("core: simulated-event budget exhausted")
 
 // Validate reports whether the scenario is runnable.
 func (s Scenario) Validate() error {
@@ -144,6 +158,7 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 
 	rng := exec.DomainRNG(sc.Seed, domainScenario)
 	engine := sim.NewEngine()
+	engine.MaxEvents = sc.MaxEvents
 	res := &ScenarioResult{}
 
 	// Fault injection: generate the deterministic timeline over the intact
@@ -279,5 +294,8 @@ func (n *Network) RunScenario(sc Scenario) (*ScenarioResult, error) {
 
 	engine.Run(sc.DurationS)
 	res.EventsProcessed = engine.Processed
+	if engine.Exhausted() {
+		return nil, fmt.Errorf("core: scenario stopped after %d events: %w", engine.Processed, ErrEventBudget)
+	}
 	return res, nil
 }

@@ -42,11 +42,37 @@ func Resolve(requested int) int {
 // of the lowest-indexed failure. A panicking task is contained and
 // surfaced as that task's error rather than crashing the pool.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	//lint:allow poolshare Map forwards its caller's task to MapAll; the closure is checked at Map's own submit sites
+	out, errs, err := MapAll(workers, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// MapAll is Map without the fail-fast error report: every task runs, and
+// the per-task errors come back indexed alongside the results instead of
+// being collapsed to the lowest-indexed failure. errs is nil when every
+// task succeeded; otherwise errs[i] is task i's error (nil for tasks that
+// succeeded — their out[i] is valid). The returned error is reserved for
+// invalid arguments, never for task failures. Supervisors that must keep
+// going past individual failures — the campaign cell runner is the
+// canonical caller — build their failure manifests from errs.
+//
+// Panic containment and scheduling are exactly Map's: a panicking task
+// surfaces as its own error, and the set of executed work never depends
+// on worker scheduling.
+func MapAll[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("exec: negative task count %d", n)
+		return nil, nil, fmt.Errorf("exec: negative task count %d", n)
 	}
 	if fn == nil {
-		return nil, errors.New("exec: nil task function")
+		return nil, nil, errors.New("exec: nil task function")
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
@@ -76,12 +102,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		wg.Wait()
 	}
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exec: task %d: %w", i, err)
+			return out, errs, nil
 		}
 	}
-	return out, nil
+	return out, nil, nil
 }
 
 // ForEach is Map for side-effect-free checks that produce no value.

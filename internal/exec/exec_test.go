@@ -139,6 +139,70 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+// TestMapAllCollectsEveryError: unlike Map, which collapses to the
+// lowest-indexed failure, MapAll hands back the full indexed error set —
+// successes keep their results, failures (including panics) keep their
+// own errors.
+func TestMapAllCollectsEveryError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, errs, err := MapAll(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 2, 7:
+				return 0, fmt.Errorf("task %d: %w", i, sentinel)
+			case 5:
+				panic("kaboom")
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected argument error %v", workers, err)
+		}
+		if len(errs) != 10 {
+			t.Fatalf("workers=%d: errs length = %d, want 10", workers, len(errs))
+		}
+		for i := 0; i < 10; i++ {
+			switch i {
+			case 2, 7:
+				if !errors.Is(errs[i], sentinel) {
+					t.Errorf("workers=%d: errs[%d] = %v, want sentinel", workers, i, errs[i])
+				}
+			case 5:
+				if errs[i] == nil || !strings.Contains(errs[i].Error(), "kaboom") {
+					t.Errorf("workers=%d: errs[%d] = %v, want contained panic", workers, i, errs[i])
+				}
+			default:
+				if errs[i] != nil {
+					t.Errorf("workers=%d: errs[%d] = %v, want nil", workers, i, errs[i])
+				}
+				if out[i] != i*i {
+					t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*i)
+				}
+			}
+		}
+	}
+}
+
+// TestMapAllCleanRun: a fully successful run returns a nil error slice, so
+// callers can gate on errs == nil without scanning.
+func TestMapAllCleanRun(t *testing.T) {
+	out, errs, err := MapAll(3, 8, func(i int) (int, error) { return i, nil })
+	if err != nil || errs != nil {
+		t.Fatalf("err = %v, errs = %v, want nil/nil", err, errs)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+	if _, _, err := MapAll(3, -1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, _, err := MapAll[int](3, 4, nil); err == nil {
+		t.Error("nil fn should fail")
+	}
+}
+
 // TestSeedDistinctAcrossSweep exhaustively checks the coordinate ranges the
 // experiment sweeps actually use: every (point, trial) pair in a sweep the
 // size of Fig2b's must derive a distinct seed.

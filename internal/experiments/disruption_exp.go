@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/openspace-project/openspace/internal/campaign"
+)
+
+// DisruptionConfig parameterises E17: the disrupted-communications
+// campaign. The scenario matrix (constellation preset × fault intensity
+// × workload mix × routing policy) expands into supervised cells; every
+// cell runs a full simulation under panic containment, a simulated-event
+// budget, and bounded retry, and a failed cell degrades into a
+// failure-manifest row instead of aborting the campaign.
+type DisruptionConfig struct {
+	Spec campaign.Spec
+	// Workers bounds concurrent cells; ≤0 = one per CPU. The CSV is
+	// byte-identical at any setting.
+	Workers int
+}
+
+// DefaultDisruption is the committed 54-cell matrix.
+func DefaultDisruption() DisruptionConfig {
+	return DisruptionConfig{Spec: campaign.DefaultSpec()}
+}
+
+// DisruptionResult wraps the campaign outcome in the experiment shape.
+type DisruptionResult struct {
+	Out *campaign.Outcome
+}
+
+// Disruption runs E17 to completion. Per-cell failures live in the
+// outcome's manifest, not in the returned error, which is reserved for
+// campaign infrastructure.
+func Disruption(cfg DisruptionConfig) (*DisruptionResult, error) {
+	ccfg := campaign.DefaultConfig()
+	ccfg.Workers = cfg.Workers
+	out, err := campaign.Run(cfg.Spec, ccfg, campaign.CellRunner(cfg.Spec))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: disruption-campaign: %w", err)
+	}
+	return &DisruptionResult{Out: out}, nil
+}
+
+// CSV writes the per-cell metric rows (successful cells only, matrix
+// order) — the committed results/disruption-campaign.csv.
+func (r *DisruptionResult) CSV(w io.Writer) error { return r.Out.WriteCSV(w) }
+
+// Render prints one line per cell plus the failure manifest.
+func (r *DisruptionResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Disruption campaign (E17): %d cells\n", len(r.Out.Cells)); err != nil {
+		return err
+	}
+	for _, c := range r.Out.Cells {
+		if c.Failed() {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-40s attempts %d  %s\n", c.Cell.ID, c.Attempts, c.Fields); err != nil {
+			return err
+		}
+	}
+	fails := r.Out.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "failure manifest (%d cells):\n", len(fails)); err != nil {
+		return err
+	}
+	return r.Out.WriteManifest(w)
+}

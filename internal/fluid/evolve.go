@@ -36,6 +36,15 @@ type Evolver struct {
 	backlogB    []float64
 	backlogAgeE []int
 
+	// Fault-visibility state for interruption accounting (see
+	// Result.Interrupted): faultsActive mirrors whether the caller has a
+	// fault overlay installed on the snapshots it feeds Advance, and
+	// prevCityGW holds the previous epoch's city→gateway mapping
+	// (prevValid guards the first epoch, which has no predecessor).
+	faultsActive bool
+	prevValid    bool
+	prevCityGW   []string
+
 	// Per-epoch scratch, sized once at construction and reused by every
 	// Advance so the realise/group/carry/deaggregate kernels allocate
 	// nothing in steady state (see TestAllocGateEvolverKernels). The
@@ -82,6 +91,14 @@ type Result struct {
 	// Abandoned counts transfers dropped after MaxRetryEpochs epochs in
 	// backlog — the fluid analogue of exhausting the retry budget.
 	Abandoned int64
+	// Interrupted counts in-flight interruption events while faults are
+	// active: backlogged transfers whose ingress or egress gateway mapping
+	// changed between consecutive fault-active epochs (the overlay severed
+	// or restored a gateway, forcing their cities elsewhere). It is the
+	// fluid analogue of core's per-flow DroppedTerminals counter; the
+	// SetFaultsActive gate keeps fault-free runs byte-identical to runs
+	// that predate the counter.
+	Interrupted int64
 	// PendingTransfers is the backlog remaining after the last epoch.
 	PendingTransfers int64
 
@@ -147,6 +164,7 @@ func NewEvolver(m *ClassMatrix, cfg Config, gws []traffic.Gateway) (*Evolver, er
 		backlogT:    make([]int64, n),
 		backlogB:    make([]float64, n),
 		backlogAgeE: make([]int, n),
+		prevCityGW:  make([]string, len(m.Cities)),
 		rng:         exec.ScratchRNG(),
 		lit:         make([]traffic.Gateway, 0, len(gws)),
 		cityGW:      make([]string, len(m.Cities)),
@@ -224,6 +242,25 @@ func (e *Evolver) Advance(snap *topo.Snapshot, t0, t1 float64, epoch int) error 
 			e.cityGW[i] = traffic.NearestGatewayID(e.lit, c.Pos)
 		}
 	}
+
+	// Interruption accounting: while faults are active, backlogged
+	// transfers whose gateway mapping moved since the previous epoch were
+	// in flight through infrastructure that changed under them. The count
+	// runs before realiseEpoch so backlog that the new mapping settles
+	// trivially (coincident endpoints) is still seen as interrupted first.
+	if e.faultsActive && e.prevValid {
+		for k := range e.m.Aggregates {
+			if e.backlogT[k] == 0 {
+				continue
+			}
+			a := &e.m.Aggregates[k]
+			if e.cityGW[a.Src] != e.prevCityGW[a.Src] || e.cityGW[a.Dst] != e.prevCityGW[a.Dst] {
+				e.res.Interrupted += e.backlogT[k]
+			}
+		}
+	}
+	copy(e.prevCityGW, e.cityGW)
+	e.prevValid = true
 
 	// Realise this epoch's arrivals and pool them with the backlog.
 	e.realiseEpoch(dt, epoch)
@@ -479,6 +516,14 @@ func (e *Evolver) deaggregate(dt float64) {
 		}
 	}
 }
+
+// SetFaultsActive tells the evolver whether a fault overlay is currently
+// installed on the snapshots the next Advance calls will see. core's
+// fault-transition handler flips it as masks fill and drain; while
+// active, gateway-mapping changes between epochs are charged to
+// Result.Interrupted. Fault-free callers never call this, so their
+// results are untouched by the accounting.
+func (e *Evolver) SetFaultsActive(active bool) { e.faultsActive = active }
 
 // Result returns the accumulated counters. The pointer stays live across
 // further Advance calls.

@@ -288,6 +288,51 @@ func TestEvolverRecoversBacklogAfterDarkEpoch(t *testing.T) {
 	}
 }
 
+// TestEvolverInterruptionCounting: a fault overlay that relights the
+// gateways remaps every city, so backlog carried across the transition is
+// charged to Interrupted — but only while SetFaultsActive(true) holds.
+func TestEvolverInterruptionCounting(t *testing.T) {
+	run := func(active bool) *Result {
+		cfg := Config{Users: 100_000, Seed: 13, MaxRetryEpochs: 5}
+		m, err := BuildClassMatrix(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, gws := gridSnapshot(t, 100, 8, 0)
+		dark := darkSnapshot(t, gws)
+		ev, err := NewEvolver(m, cfg, gws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.SetFaultsActive(active)
+		if err := ev.Advance(dark, 0, 30, 0); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Result().PendingTransfers == 0 {
+			t.Fatal("dark epoch left no backlog")
+		}
+		if err := ev.Advance(snap, 30, 60, 1); err != nil {
+			t.Fatal(err)
+		}
+		return ev.Result()
+	}
+
+	withFaults := run(true)
+	if withFaults.Interrupted == 0 {
+		t.Fatal("gateway remap under active faults charged no interruptions")
+	}
+	withoutFaults := run(false)
+	if withoutFaults.Interrupted != 0 {
+		t.Fatalf("interruptions %d charged while faults inactive", withoutFaults.Interrupted)
+	}
+	// The gate must be pure accounting: every delivery counter matches.
+	if withFaults.TransfersDelivered != withoutFaults.TransfersDelivered ||
+		withFaults.TransfersAttempted != withoutFaults.TransfersAttempted ||
+		withFaults.Abandoned != withoutFaults.Abandoned {
+		t.Errorf("fault-active accounting changed delivery counters: %+v vs %+v", withFaults, withoutFaults)
+	}
+}
+
 func TestPoissonMeanAndDeterminism(t *testing.T) {
 	for _, mean := range []float64{0.5, 3, 40, 200, 5000} {
 		rng := rand.New(rand.NewSource(1))

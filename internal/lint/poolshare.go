@@ -55,7 +55,7 @@ func isPoolSubmit(fn *types.Func) bool {
 		return false
 	}
 	switch fn.Name() {
-	case "Map", "ForEach":
+	case "Map", "MapAll", "ForEach":
 		return true
 	}
 	return false

@@ -68,6 +68,26 @@ func Sweep(workers, n int, rng *rand.Rand, total *float64) error {
 `})
 	})
 
+	t.Run("mapall_tasks_carry_the_same_contract", func(t *testing.T) {
+		runFixture(t, analyzerByName(t, "poolshare"), execStub, fixturePkg{pkg, `package fixture
+import "` + Module + `/internal/exec"
+
+func Sweep(workers, n int) ([]int, []error, error) {
+	worst := 0
+	out := make([]int, n)
+	vals, errs, err := exec.MapAll(workers, n, func(i int) (int, error) {
+		if i > worst {
+			worst = i // want "write to captured worst"
+		}
+		out[i] = i // disjoint: fine
+		return i, nil
+	})
+	_ = out
+	return vals, errs, err
+}
+`})
+	})
+
 	t.Run("non_literal_task_function_is_reported", func(t *testing.T) {
 		runFixture(t, analyzerByName(t, "poolshare"), execStub, fixturePkg{pkg, `package fixture
 import "` + Module + `/internal/exec"

@@ -27,3 +27,16 @@ func Sweep(workers, n int, rng *rand.Rand) ([]float64, error) {
 		return v, nil
 	})
 }
+
+// SweepAll repeats the shape over exec.MapAll: collecting per-task
+// errors does not loosen the sharing contract on the task closure.
+func SweepAll(workers, n int) ([]float64, []error, error) {
+	worst := 0.0
+	return exec.MapAll(workers, n, func(i int) (float64, error) {
+		v := float64(i)
+		if v > worst { // plain captured write under MapAll
+			worst = v
+		}
+		return v, nil
+	})
+}

@@ -68,6 +68,16 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+func MapAll[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if out[i], err = fn(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, nil, nil
+}
 func ForEach(workers, n int, fn func(i int) error) error {
 	for i := 0; i < n; i++ {
 		if err := fn(i); err != nil {

@@ -140,6 +140,72 @@ func TestBackoffSchedule(t *testing.T) {
 	}
 }
 
+func TestBackoffEdgeCases(t *testing.T) {
+	// MaxAttempts = 0: no retries ever, whatever the base.
+	if _, ok := (Backoff{BaseS: 2, MaxS: 30}).DelayS(0); ok {
+		t.Error("MaxAttempts 0 must never grant a retry")
+	}
+	// MaxAttempts = 1: exactly one retry at BaseS.
+	one := Backoff{BaseS: 3, MaxS: 30, MaxAttempts: 1}
+	if d, ok := one.DelayS(0); !ok || d != 3 {
+		t.Errorf("single-attempt DelayS(0) = %v,%v want 3,true", d, ok)
+	}
+	if _, ok := one.DelayS(1); ok {
+		t.Error("single-attempt DelayS(1) must report false")
+	}
+	// BaseS <= 0 disables the schedule even with attempts budgeted.
+	for _, base := range []float64{0, -2} {
+		if _, ok := (Backoff{BaseS: base, MaxS: 30, MaxAttempts: 5}).DelayS(0); ok {
+			t.Errorf("BaseS %v must never grant a retry", base)
+		}
+	}
+	// MaxS below BaseS caps from the very first retry.
+	if d, ok := (Backoff{BaseS: 8, MaxS: 3, MaxAttempts: 4}).DelayS(0); !ok || d != 3 {
+		t.Errorf("cap below base: DelayS(0) = %v,%v want 3,true", d, ok)
+	}
+	// MaxS = 0 means uncapped exponential growth.
+	if d, ok := (Backoff{BaseS: 1, MaxAttempts: 40}).DelayS(30); !ok || d != float64(int64(1)<<30) {
+		t.Errorf("uncapped DelayS(30) = %v,%v want 2^30,true", d, ok)
+	}
+}
+
+// TestBackoffMonotoneNonDecreasing sweeps a deterministic parameter grid
+// and asserts the schedule's invariants: delays are positive, never
+// decrease with the attempt number, never exceed a positive MaxS, and
+// the budget boundary is exact.
+func TestBackoffMonotoneNonDecreasing(t *testing.T) {
+	bases := []float64{0.5, 1, 2, 7.5, 100}
+	maxes := []float64{0, 0.25, 1, 30, 1e6}
+	attempts := []int{1, 2, 5, 17, 60}
+	for _, base := range bases {
+		for _, max := range maxes {
+			for _, n := range attempts {
+				b := Backoff{BaseS: base, MaxS: max, MaxAttempts: n}
+				prev := 0.0
+				for i := 0; i < n; i++ {
+					d, ok := b.DelayS(i)
+					if !ok {
+						t.Fatalf("%+v: DelayS(%d) refused inside the budget", b, i)
+					}
+					if d <= 0 {
+						t.Fatalf("%+v: DelayS(%d) = %v, want positive", b, i, d)
+					}
+					if d < prev {
+						t.Fatalf("%+v: DelayS(%d) = %v decreased from %v", b, i, d, prev)
+					}
+					if max > 0 && d > max {
+						t.Fatalf("%+v: DelayS(%d) = %v exceeds cap", b, i, d)
+					}
+					prev = d
+				}
+				if _, ok := b.DelayS(n); ok {
+					t.Fatalf("%+v: DelayS(%d) granted beyond the budget", b, n)
+				}
+			}
+		}
+	}
+}
+
 func TestDisjointPathsSrcEqualsDst(t *testing.T) {
 	s := diamondSnapshot(t)
 	paths, err := DisjointPaths(s, "src", "src", LatencyCost(0), 5)

@@ -30,6 +30,14 @@ type Engine struct {
 	stopped bool
 	// Processed counts delivered events, for loop-guard assertions.
 	Processed uint64
+	// MaxEvents, when non-zero, is the simulated-event budget: Run
+	// refuses to deliver more than this many events over the engine's
+	// lifetime. The budget is the deterministic, wall-clock-free analogue
+	// of a timeout — it depends only on the event sequence, never on host
+	// speed or scheduling, so a run that exhausts it does so identically
+	// on every machine and at every worker count. Exhausted reports
+	// whether Run stopped on it.
+	MaxEvents uint64
 }
 
 // NewEngine returns an engine at time zero.
@@ -71,14 +79,19 @@ func (e *Engine) After(delayS float64, fn func(*Engine)) error {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events in time order until the queue empties, Stop is
-// called, or the clock passes untilS (events after untilS stay queued and
-// the clock is left at untilS). The step loop itself allocates nothing;
-// what the event callbacks allocate is their own business.
+// called, the clock passes untilS (events after untilS stay queued and
+// the clock is left at untilS), or the MaxEvents budget is exhausted (the
+// clock is left at the last delivered event). The step loop itself
+// allocates nothing; what the event callbacks allocate is their own
+// business.
 //
 //lint:hotpath
 func (e *Engine) Run(untilS float64) {
 	e.stopped = false
 	for e.events.Len() > 0 && !e.stopped {
+		if e.MaxEvents > 0 && e.Processed >= e.MaxEvents {
+			return
+		}
 		next, _ := e.events.peek()
 		if next.atS > untilS {
 			e.now = untilS
@@ -96,3 +109,8 @@ func (e *Engine) Run(untilS float64) {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// Exhausted reports whether the engine has spent its MaxEvents budget —
+// the signal that a Run stopped on the simulated-event timeout rather
+// than draining its queue or reaching the horizon.
+func (e *Engine) Exhausted() bool { return e.MaxEvents > 0 && e.Processed >= e.MaxEvents }

@@ -91,6 +91,51 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 3
+	count := 0
+	var tick func(*Engine)
+	tick = func(en *Engine) {
+		count++
+		en.After(1, tick)
+	}
+	e.After(1, tick)
+	e.Run(100)
+	if count != 3 {
+		t.Errorf("budgeted run delivered %d events, want 3", count)
+	}
+	if !e.Exhausted() {
+		t.Error("Exhausted() = false after budget spent")
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want left at last delivered event", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want the undelivered event still queued", e.Pending())
+	}
+	// Raising the budget resumes exactly where the run stopped.
+	e.MaxEvents = 5
+	e.Run(100)
+	if count != 5 || !e.Exhausted() {
+		t.Errorf("resumed run delivered %d events (exhausted=%v), want 5/true", count, e.Exhausted())
+	}
+}
+
+func TestEngineZeroBudgetUnlimited(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 50; i++ {
+		e.Schedule(float64(i), func(*Engine) {})
+	}
+	e.Run(100)
+	if e.Processed != 50 {
+		t.Errorf("processed = %d, want all 50 with zero budget", e.Processed)
+	}
+	if e.Exhausted() {
+		t.Error("Exhausted() = true with zero budget")
+	}
+}
+
 func TestScheduleValidation(t *testing.T) {
 	e := NewEngine()
 	if err := e.Schedule(1, nil); err == nil {
